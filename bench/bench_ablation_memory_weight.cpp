@@ -1,0 +1,64 @@
+// Ablation A2 (paper §5, second "magic number"): the computation-vs-memory
+// constraint tradeoff. The memory requirement of a router is m = 10 + x²
+// (x = AS size). With a small memory priority the partitioner optimizes
+// computation balance; raising it trades computation balance for memory
+// balance — the knob the paper says to turn when engines run short of RAM.
+// TeraGrid is used because its per-AS router counts differ.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/weights.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace massf;
+  std::cout << "=== Ablation: memory-constraint priority (m = 10 + x^2) ===\n"
+            << "(ScaLapack on TeraGrid, PROFILE mapping)\n\n";
+
+  const bench::TopologyCase topo = bench::make_topology_case("TeraGrid");
+  const bench::WorkloadBundle bundle =
+      bench::make_workload(topo, bench::App::Scalapack, 2026);
+  const std::vector<double> memory = mapping::memory_weights(topo.network);
+
+  Table table({"memory priority", "compute imbalance", "memory balance",
+               "emu time (s)"});
+  for (double priority : {0.0, 0.05, 0.5, 2.0, 10.0}) {
+    double imbalance = 0, mem_balance = 0, time = 0;
+    const int replicas = bench::replica_count();
+    for (int r = 0; r < replicas; ++r) {
+      mapping::ExperimentSetup setup = bench::make_setup(topo, bundle, r);
+      setup.mapping.memory_priority = priority;
+      mapping::Experiment experiment(std::move(setup));
+      const auto mapped = experiment.map(mapping::Approach::Profile);
+      const auto metrics = experiment.run(mapped);
+      imbalance += metrics.load_imbalance;
+      time += metrics.emulation_time;
+
+      // Memory balance: max engine memory / ideal share.
+      std::vector<double> engine_memory(
+          static_cast<std::size_t>(topo.engines), 0.0);
+      double total = 0;
+      for (topology::NodeId v = 0; v < topo.network.node_count(); ++v) {
+        engine_memory[static_cast<std::size_t>(
+            mapped.node_engine[static_cast<std::size_t>(v)])] +=
+            memory[static_cast<std::size_t>(v)];
+        total += memory[static_cast<std::size_t>(v)];
+      }
+      double peak = 0;
+      for (double m : engine_memory) peak = std::max(peak, m);
+      mem_balance += peak / (total / topo.engines);
+    }
+    const double n = replicas;
+    table.row()
+        .cell(priority, 2)
+        .cell(imbalance / n)
+        .cell(mem_balance / n)
+        .cell(time / n, 1);
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: 'when the simulation engine has enough physical "
+               "memory, the weight of memory should be small... we must "
+               "increase the weight of memory when physical memory becomes "
+               "a possible bottleneck.'\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation A7 (paper §6 future work): profile reuse across similar runs.
+// "It is desirable if we can figure out the application traffic pattern
+// after a couple of profile runs and then we can use the profile data for
+// other similar emulations." Here the profiling run uses the same traffic
+// *placement* but different *dynamics* (think times, response sizes) than
+// the measured run — how much does a stale-but-similar profile cost
+// compared with a fresh one?
+#include <iostream>
+#include <memory>
+
+#include "bench/common.hpp"
+#include "traffic/http.hpp"
+#include "traffic/scalapack.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace massf;
+
+/// The fig4 campus workload with a controllable HTTP dynamics seed.
+std::shared_ptr<traffic::CompositeWorkload> make_variant(
+    const bench::TopologyCase& topo,
+    const std::vector<topology::NodeId>& app_hosts,
+    std::uint64_t dynamics_seed) {
+  auto workload = std::make_shared<traffic::CompositeWorkload>();
+  traffic::ScalapackParams app;
+  app.size_scale = 1.0;
+  app.total_compute_s = 100;
+  workload->add(std::make_shared<traffic::ScalapackApp>(app_hosts, app));
+
+  traffic::HttpParams http;
+  http.clients_per_server = 14;
+  http.server_number = 8;
+  http.think_time_s = 1.5;
+  http.zipf_exponent = 1.3;
+  http.duration_s = 420;
+  http.seed = 0x4777;             // placement: identical across variants
+  http.dynamics_seed = dynamics_seed;
+  workload->add(std::make_shared<traffic::HttpBackground>(topo.network, http,
+                                                          app_hosts));
+  return workload;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: reusing a profile from a *similar* run ===\n"
+            << "(ScaLapack + HTTP on Campus; the stale profile saw the same "
+               "placement but different traffic dynamics)\n\n";
+
+  const bench::TopologyCase topo = bench::make_topology_case("Campus");
+  Rng rng(mix_seed(2026, 0xAB));
+  std::vector<topology::NodeId> hosts = topo.network.hosts();
+  rng.shuffle(hosts);
+  const std::vector<topology::NodeId> app_hosts(hosts.begin(),
+                                                hosts.begin() + 10);
+
+  Table table({"profile source", "imbalance", "emu time (s)"});
+  for (const bool fresh : {true, false}) {
+    double imbalance = 0, time = 0;
+    const int replicas = bench::replica_count();
+    for (int r = 0; r < replicas; ++r) {
+      bench::WorkloadBundle bundle;
+      bundle.app_hosts = app_hosts;
+      bundle.workload = make_variant(topo, app_hosts, /*dynamics=*/101);
+      mapping::ExperimentSetup setup = bench::make_setup(topo, bundle, r);
+      if (!fresh)
+        setup.profile_workload = make_variant(topo, app_hosts,
+                                              /*dynamics=*/777);
+      mapping::Experiment experiment(std::move(setup));
+      const auto mapped = experiment.map(mapping::Approach::Profile);
+      const auto metrics = experiment.run(mapped);
+      imbalance += metrics.load_imbalance;
+      time += metrics.emulation_time;
+    }
+    table.row()
+        .cell(fresh ? "fresh (same run)" : "stale (similar run)")
+        .cell(imbalance / replicas)
+        .cell(time / replicas, 1);
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: a profile from a similar run loses little — the "
+               "paper's hoped-for amortization of profiling cost.\n";
+  return 0;
+}

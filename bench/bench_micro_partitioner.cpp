@@ -1,0 +1,99 @@
+// Ablation A5: google-benchmark micro-benchmarks of the partitioning and
+// routing substrates — throughput of the pieces the mapping pipeline runs
+// (coarsening, multilevel partitioning, baselines, routing-table
+// construction, flow aggregation).
+#include <benchmark/benchmark.h>
+
+#include "graph/algorithms.hpp"
+#include "partition/baselines.hpp"
+#include "partition/coarsen.hpp"
+#include "partition/partition.hpp"
+#include "routing/routing.hpp"
+#include "topology/topologies.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace massf;
+
+graph::Graph random_graph(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  graph::GraphBuilder b(1);
+  for (int i = 0; i < n; ++i) b.add_vertex(rng.next_double(0.5, 2.0));
+  for (int i = 1; i < n; ++i)
+    b.add_edge(static_cast<graph::VertexId>(
+                   rng.next_below(static_cast<std::uint64_t>(i))),
+               i, rng.next_double(0.5, 3.0));
+  for (int e = 0; e < 2 * n; ++e) {
+    const auto u = static_cast<graph::VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<graph::VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u != v) b.add_edge(u, v, rng.next_double(0.5, 3.0));
+  }
+  return b.build();
+}
+
+void BM_CoarsenOnce(benchmark::State& state) {
+  const graph::Graph g = random_graph(static_cast<int>(state.range(0)), 11);
+  Rng rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(partition::coarsen_once(g, rng));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoarsenOnce)->Arg(1000)->Arg(10000);
+
+void BM_PartitionMultilevel(benchmark::State& state) {
+  const graph::Graph g = random_graph(static_cast<int>(state.range(0)), 13);
+  partition::PartitionOptions opts;
+  opts.parts = static_cast<int>(state.range(1));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    opts.seed = ++seed;
+    benchmark::DoNotOptimize(partition::partition_multilevel(g, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionMultilevel)
+    ->Args({500, 8})
+    ->Args({2000, 8})
+    ->Args({2000, 20})
+    ->Args({8000, 20});
+
+void BM_PartitionGreedyKCluster(benchmark::State& state) {
+  const graph::Graph g = random_graph(static_cast<int>(state.range(0)), 17);
+  std::uint64_t seed = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        partition::partition_greedy_kcluster(g, 8, ++seed));
+}
+BENCHMARK(BM_PartitionGreedyKCluster)->Arg(2000);
+
+void BM_RoutingTablesBuild(benchmark::State& state) {
+  topology::BriteParams params;
+  params.routers = static_cast<int>(state.range(0));
+  params.hosts = params.routers / 2;
+  const topology::Network net = topology::make_brite(params);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(routing::RoutingTables::build(net));
+  state.SetItemsProcessed(state.iterations() * net.node_count());
+}
+BENCHMARK(BM_RoutingTablesBuild)->Arg(100)->Arg(200);
+
+void BM_AggregateFlows(benchmark::State& state) {
+  const topology::Network net = topology::make_teragrid();
+  const routing::RoutingTables tables = routing::RoutingTables::build(net);
+  Rng rng(5);
+  std::vector<routing::Flow> flows;
+  const auto hosts = net.hosts();
+  for (int i = 0; i < 1000; ++i)
+    flows.push_back({rng.pick(hosts), rng.pick(hosts), 1.0});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(routing::aggregate_flows(net, tables, flows));
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_AggregateFlows);
+
+}  // namespace
+
+BENCHMARK_MAIN();

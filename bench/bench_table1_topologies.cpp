@@ -1,0 +1,34 @@
+// Reproduces paper Table 1 ("Network Topology Setup") and reports extra
+// structural statistics of each generated topology.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace massf;
+
+  std::cout << "=== Table 1: Network Topology Setup ===\n\n";
+  Table table({"Network Topology", "Router", "Host", "Emulation Engine Node",
+               "Links", "ASes", "min latency (ms)", "max latency (ms)"});
+  for (const std::string& name : bench::table1_names()) {
+    const bench::TopologyCase topo = bench::make_topology_case(name);
+    double max_latency = 0;
+    for (topology::LinkId l = 0; l < topo.network.link_count(); ++l)
+      max_latency = std::max(max_latency, topo.network.link(l).latency_s);
+    table.row()
+        .cell(name)
+        .cell(topo.network.router_count())
+        .cell(topo.network.host_count())
+        .cell(topo.engines)
+        .cell(static_cast<int>(topo.network.link_count()))
+        .cell(topo.network.as_count())
+        .cell(topo.network.min_link_latency() * 1e3, 2)
+        .cell(max_latency * 1e3, 2);
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper Table 1: Campus 20/40/3, TeraGrid 27/150/5, "
+               "Brite 160/132/8\n";
+  return 0;
+}

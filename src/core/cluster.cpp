@@ -1,0 +1,152 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace massf::mapping {
+
+std::vector<Segment> cluster_segments(
+    const std::vector<std::vector<double>>& curves,
+    const ClusterOptions& options) {
+  MASSF_REQUIRE(!curves.empty(), "need at least one load curve");
+  const std::size_t buckets = curves.front().size();
+  for (const auto& curve : curves)
+    MASSF_REQUIRE(curve.size() == buckets, "curves must have equal length");
+  if (buckets == 0) return {};
+
+  // Step 1: find active buckets (total load >= idle_fraction * mean).
+  std::vector<double> total(buckets, 0.0);
+  for (const auto& curve : curves)
+    for (std::size_t b = 0; b < buckets; ++b) total[b] += curve[b];
+  const double mean_load = mean(total);
+  if (mean_load <= 0) return {};
+  const double idle_threshold = options.idle_fraction * mean_load;
+  std::vector<std::size_t> active;  // original bucket indices
+  for (std::size_t b = 0; b < buckets; ++b)
+    if (total[b] >= idle_threshold) active.push_back(b);
+  if (active.empty()) return {};
+
+  // Step 2: smooth each curve restricted to the active buckets.
+  std::vector<std::vector<double>> smooth(curves.size());
+  for (std::size_t c = 0; c < curves.size(); ++c) {
+    std::vector<double> restricted(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i)
+      restricted[i] = curves[c][active[i]];
+    smooth[c] = moving_average(restricted, options.smooth_half_window);
+  }
+
+  // Step 3: dominating curve per active bucket. Dominance only counts when
+  // the leader beats the runner-up by the configured margin; otherwise the
+  // bucket is neutral (-1) and inherits the preceding regime — the paper
+  // splits at *major* load variations, not at noise between equally loaded
+  // engines.
+  std::vector<int> dominating(active.size(), 0);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    int best = 0;
+    double second = 0;
+    for (std::size_t c = 1; c < smooth.size(); ++c) {
+      if (smooth[c][i] > smooth[static_cast<std::size_t>(best)][i]) {
+        second = smooth[static_cast<std::size_t>(best)][i];
+        best = static_cast<int>(c);
+      } else {
+        second = std::max(second, smooth[c][i]);
+      }
+    }
+    const bool significant =
+        smooth[static_cast<std::size_t>(best)][i] >
+        (1.0 + options.dominance_margin) * second;
+    dominating[i] = significant ? best : -1;
+  }
+  // Forward/backward-fill neutral buckets with the nearest regime.
+  int last = -1;
+  for (std::size_t i = 0; i < dominating.size(); ++i) {
+    if (dominating[i] < 0)
+      dominating[i] = last;
+    else
+      last = dominating[i];
+  }
+  for (std::size_t i = dominating.size(); i-- > 0;) {
+    if (dominating[i] < 0)
+      dominating[i] = last;
+    else
+      last = dominating[i];
+  }
+  if (!dominating.empty() && dominating.front() < 0)
+    for (auto& d : dominating) d = 0;  // nothing significant anywhere
+
+  // Step 4: split where dominance changes and the new regime persists for
+  // at least min_segment_buckets.
+  std::vector<Segment> segments;
+  std::size_t start = 0;
+  for (std::size_t i = 1; i <= active.size(); ++i) {
+    const bool boundary =
+        i == active.size() ||
+        (dominating[i] != dominating[start] &&
+         i - start >= options.min_segment_buckets);
+    if (!boundary) continue;
+    // Require the *new* regime to persist too (lookahead check) — unless
+    // we are at the end.
+    if (i < active.size()) {
+      std::size_t run = 1;
+      while (i + run < active.size() && dominating[i + run] == dominating[i])
+        ++run;
+      if (run < options.min_segment_buckets) continue;
+    }
+    Segment segment;
+    segment.begin = active[start];
+    segment.end = active[i - 1] + 1;
+    segment.dominating = dominating[start];
+    segments.push_back(segment);
+    start = i;
+  }
+  MASSF_CHECK(!segments.empty(), "active buckets must yield >= 1 segment");
+
+  // Step 5: merge the shortest segments into their (shorter) neighbor until
+  // the cap is met.
+  const std::size_t cap = std::max<std::size_t>(1, options.max_segments);
+  while (segments.size() > cap) {
+    std::size_t shortest = 0;
+    for (std::size_t s = 1; s < segments.size(); ++s)
+      if (segments[s].end - segments[s].begin <
+          segments[shortest].end - segments[shortest].begin)
+        shortest = s;
+    // Merge into whichever neighbor is shorter (ties: the left one).
+    std::size_t target;
+    if (shortest == 0)
+      target = 1;
+    else if (shortest + 1 == segments.size())
+      target = shortest - 1;
+    else {
+      const auto left_len =
+          segments[shortest - 1].end - segments[shortest - 1].begin;
+      const auto right_len =
+          segments[shortest + 1].end - segments[shortest + 1].begin;
+      target = left_len <= right_len ? shortest - 1 : shortest + 1;
+    }
+    const std::size_t lo = std::min(shortest, target);
+    const std::size_t hi = std::max(shortest, target);
+    segments[lo].end = segments[hi].end;
+    segments.erase(segments.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
+  return segments;
+}
+
+std::vector<std::vector<double>> segment_node_weights(
+    const std::vector<std::vector<double>>& node_series,
+    const std::vector<Segment>& segments) {
+  std::vector<std::vector<double>> weights(
+      segments.size(), std::vector<double>(node_series.size(), 0.0));
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    for (std::size_t v = 0; v < node_series.size(); ++v) {
+      const auto& series = node_series[v];
+      const std::size_t end = std::min(segments[s].end, series.size());
+      for (std::size_t b = segments[s].begin; b < end; ++b)
+        weights[s][v] += series[b];
+    }
+  }
+  return weights;
+}
+
+}  // namespace massf::mapping

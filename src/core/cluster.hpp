@@ -1,0 +1,66 @@
+// Emulation-period segment clustering (paper §3.3).
+//
+// Averaging a profile over the whole run hides the dynamic behavior in
+// Figure 2: different nodes dominate the load at different stages, and
+// quiet stages don't matter at all. The paper's clustering algorithm:
+//
+//   1. remove segments (time buckets) that carry little traffic;
+//   2. smooth each curve with a moving average over a larger period;
+//   3. find the *dominating node* (maximal smoothed load) of each bucket;
+//   4. split the emulation period where the dominating node changes;
+//   5. each resulting segment becomes one balance constraint for the
+//      multi-constraint partitioner.
+//
+// The curves clustered here are per-*engine* loads of the profiling run
+// (that is what "physical node" means in §3.3); the resulting time
+// segments are then used to slice the per-virtual-node NetFlow series into
+// one weight vector per segment.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace massf::mapping {
+
+struct ClusterOptions {
+  /// Buckets whose total load is below this fraction of the mean bucket
+  /// load are treated as idle and excluded (step 1).
+  double idle_fraction = 0.10;
+  /// Moving-average half window in buckets (step 2).
+  std::size_t smooth_half_window = 2;
+  /// A bucket's dominating engine is only *significant* when its smoothed
+  /// load exceeds the runner-up by this margin; insignificant buckets
+  /// extend the current segment. The paper splits at "major load
+  /// variation", not at noise between equally loaded engines.
+  double dominance_margin = 0.15;
+  /// Minimum segment length in (active) buckets; shorter dominance blips
+  /// do not open a new segment.
+  std::size_t min_segment_buckets = 3;
+  /// Hard cap on segments (extra constraints make partitioning harder);
+  /// shortest segments are merged into neighbors past the cap.
+  std::size_t max_segments = 4;
+};
+
+/// One clustered time segment: bucket indices [begin, end) over the
+/// original (unfiltered) bucket axis, and the id of its dominating curve.
+struct Segment {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  int dominating = -1;
+};
+
+/// Cluster the emulation period. `curves` is one load series per engine
+/// (equal lengths; typically KernelStats::load_series of the profiling
+/// run). Returns at least one segment covering the active region unless
+/// every bucket is idle (then an empty vector).
+std::vector<Segment> cluster_segments(
+    const std::vector<std::vector<double>>& curves,
+    const ClusterOptions& options = {});
+
+/// Slice per-node bucket series into per-segment node weights:
+/// result[s][node] = sum of node_series[node][b] over b in segment s.
+std::vector<std::vector<double>> segment_node_weights(
+    const std::vector<std::vector<double>>& node_series,
+    const std::vector<Segment>& segments);
+
+}  // namespace massf::mapping

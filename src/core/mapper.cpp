@@ -1,0 +1,328 @@
+#include "core/mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "core/weights.hpp"
+#include "emu/icmp.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace massf::mapping {
+
+const char* approach_name(Approach approach) {
+  switch (approach) {
+    case Approach::Top: return "TOP";
+    case Approach::Place: return "PLACE";
+    case Approach::Profile: return "PROFILE";
+  }
+  return "?";
+}
+
+Mapper::Mapper(const Network& network, const routing::RoutingTables& routes)
+    : network_(network), routes_(routes), structure_(network.to_graph()) {}
+
+namespace {
+
+/// Lexicographic quality of a mapping: larger lookahead (bucketed to 0.1 ms
+/// so ties are meaningful) beats better balance beats lower cut traffic.
+/// This encodes the paper's default objective priority (latency first).
+bool better_mapping(const MappingResult& a, const MappingResult& b) {
+  // A grossly worse balance is never worth a lookahead win: load imbalance
+  // is the quantity being optimized in the first place.
+  if (std::abs(a.worst_balance - b.worst_balance) > 0.15)
+    return a.worst_balance < b.worst_balance;
+  const auto bucket = [](double lookahead) {
+    return static_cast<long long>(lookahead / 1e-4);
+  };
+  if (bucket(a.lookahead) != bucket(b.lookahead))
+    return bucket(a.lookahead) > bucket(b.lookahead);
+  if (std::abs(a.worst_balance - b.worst_balance) > 1e-9)
+    return a.worst_balance < b.worst_balance;
+  return a.traffic_cut < b.traffic_cut;
+}
+
+/// Per-constraint tolerances for a mapping graph with `segments` segment
+/// constraints and (optionally) a trailing memory constraint.
+///
+/// * computation: the configured epsilon — the primary balance target;
+/// * time segments: looser (they are refinement hints; over-constraining
+///   them wrecks the primary balance);
+/// * memory: epsilon / memory_priority, clamped — the paper's §5 knob:
+///   small priority = plenty of RAM = loose memory balance, large priority
+///   = memory bottleneck = tight.
+std::vector<double> constraint_epsilons(const MappingOptions& options,
+                                        int segments) {
+  std::vector<double> epsilons;
+  epsilons.push_back(options.partition.epsilon);
+  const double segment_eps = std::max(0.25, 2.0 * options.partition.epsilon);
+  for (int s = 0; s < segments; ++s) epsilons.push_back(segment_eps);
+  if (options.memory_priority > 0) {
+    const double memory_eps =
+        std::clamp(options.partition.epsilon /
+                       std::max(options.memory_priority, 1e-3),
+                   0.02, 4.0);
+    epsilons.push_back(memory_eps);
+  }
+  return epsilons;
+}
+
+}  // namespace
+
+MappingResult Mapper::finish(Approach approach,
+                             partition::PartitionResult result,
+                             const MappingOptions& options,
+                             const std::vector<double>* link_load,
+                             int segments_used) const {
+  MappingResult out;
+  out.approach = approach;
+  out.engines = options.engines;
+  out.node_engine = std::move(result.assignment);
+  out.worst_balance = result.worst_balance;
+  out.segments_used = segments_used;
+
+  // Structure cut (links crossing engines) and achieved lookahead.
+  double min_cross = std::numeric_limits<double>::infinity();
+  for (topology::LinkId l = 0; l < network_.link_count(); ++l) {
+    const topology::Link& link = network_.link(l);
+    const int ea = out.node_engine[static_cast<std::size_t>(link.a)];
+    const int eb = out.node_engine[static_cast<std::size_t>(link.b)];
+    if (ea == eb) continue;
+    out.links_cut += 1;
+    min_cross = std::min(min_cross, link.latency_s);
+    if (link_load != nullptr)
+      out.traffic_cut += (*link_load)[static_cast<std::size_t>(l)];
+  }
+  out.lookahead = std::isfinite(min_cross) ? min_cross
+                                           : network_.min_link_latency();
+  return out;
+}
+
+MappingResult Mapper::map_top(const MappingOptions& options) const {
+  MASSF_REQUIRE(options.engines >= 1, "need at least one engine");
+  partition::PartitionOptions popts = options.partition;
+  popts.parts = options.engines;
+
+  const std::vector<double> compute = bandwidth_weights(network_);
+  const std::vector<double> latency =
+      latency_arc_weights(network_, structure_);
+  const graph::Graph g = build_mapping_graph(
+      network_, structure_, compute, {}, options.memory_priority, latency);
+  popts.epsilon_per_constraint = constraint_epsilons(options, 0);
+
+  MappingResult best;
+  for (int trial = 0; trial < std::max(1, options.trials); ++trial) {
+    popts.seed = mix_seed(options.partition.seed, 0x70AD + trial);
+    partition::PartitionResult result =
+        partition::partition_multilevel(g, popts);
+    MappingResult candidate =
+        finish(Approach::Top, std::move(result), options, nullptr, 0);
+    if (trial == 0 || better_mapping(candidate, best))
+      best = std::move(candidate);
+  }
+  return best;
+}
+
+std::vector<routing::Flow> Mapper::foreground_flows(
+    const std::vector<NodeId>& injection_points, double mtu_bytes,
+    double utilization) const {
+  MASSF_REQUIRE(utilization > 0 && utilization <= 1.0,
+                "foreground utilization must be in (0, 1]");
+  std::vector<routing::Flow> flows;
+  if (injection_points.size() < 2) return flows;
+  const double peers = static_cast<double>(injection_points.size() - 1);
+  for (NodeId src : injection_points) {
+    // "Fully utilizes the network link at each injection point" (scaled by
+    // the configured utilization): the access link's bandwidth converted
+    // to packets/s, split evenly across peers.
+    const double access_pps = utilization *
+        network_.total_incident_bandwidth(src) / 8.0 / mtu_bytes;
+    for (NodeId dst : injection_points) {
+      if (src == dst) continue;
+      flows.push_back({src, dst, access_pps / peers});
+    }
+  }
+  return flows;
+}
+
+routing::AggregatedLoad Mapper::aggregate_via_traceroute(
+    const std::vector<routing::Flow>& flows) const {
+  routing::AggregatedLoad out;
+  out.link_load.assign(static_cast<std::size_t>(network_.link_count()), 0.0);
+  out.node_load.assign(static_cast<std::size_t>(network_.node_count()), 0.0);
+
+  // Representative endpoint per subnetwork (paper: "use one representative
+  // endpoint for each sub-network and only discover the route paths between
+  // those sub-network representatives"): a host is represented by its
+  // access router; a router represents itself.
+  auto representative = [&](NodeId node) -> NodeId {
+    if (network_.node(node).kind == topology::NodeKind::Router) return node;
+    const auto& links = network_.incident_links(node);
+    MASSF_CHECK(!links.empty(), "host without access link");
+    return network_.link_other_end(links.front(), node);
+  };
+
+  // Unique representative pairs to discover.
+  std::map<std::pair<NodeId, NodeId>, std::size_t> pair_index;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (const routing::Flow& flow : flows) {
+    if (flow.src == flow.dst || flow.volume <= 0) continue;
+    const NodeId a = representative(flow.src);
+    const NodeId b = representative(flow.dst);
+    if (a == b) continue;
+    if (pair_index.emplace(std::make_pair(a, b), pairs.size()).second)
+      pairs.emplace_back(a, b);
+  }
+  MASSF_LOG_DEBUG << "PLACE traceroute: discovering " << pairs.size()
+                  << " representative routes";
+  const std::vector<emu::DiscoveredRoute> discovered =
+      emu::discover_routes(network_, routes_, pairs);
+
+  for (const routing::Flow& flow : flows) {
+    if (flow.src == flow.dst || flow.volume <= 0) continue;
+    const NodeId a = representative(flow.src);
+    const NodeId b = representative(flow.dst);
+
+    // Assemble the full node path: src [+ access hop] + router path [+
+    // access hop] + dst.
+    std::vector<NodeId> path;
+    path.push_back(flow.src);
+    if (a != flow.src) path.push_back(a);
+    if (a != b) {
+      const emu::DiscoveredRoute& core = discovered[pair_index.at({a, b})];
+      if (core.empty()) {
+        // Traceroute failed (should not happen on connected networks);
+        // fall back to the routing tables for this flow.
+        const auto table_path = routes_.route(flow.src, flow.dst);
+        path.assign(table_path.begin(), table_path.end());
+      } else {
+        for (std::size_t i = 1; i + 1 < core.size(); ++i)
+          path.push_back(core[i]);
+        path.push_back(b);
+      }
+    }
+    if (path.back() != flow.dst) path.push_back(flow.dst);
+
+    // Accumulate on nodes and links along the path.
+    out.node_load[static_cast<std::size_t>(path.front())] += flow.volume;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto link = network_.find_link(path[i], path[i + 1]);
+      MASSF_CHECK(link.has_value(), "discovered path uses a missing link");
+      out.link_load[static_cast<std::size_t>(*link)] += flow.volume;
+      out.node_load[static_cast<std::size_t>(path[i + 1])] += flow.volume;
+    }
+  }
+  return out;
+}
+
+TrafficEstimate Mapper::estimate_place(const traffic::Workload& workload,
+                                       const MappingOptions& options) const {
+  std::vector<routing::Flow> flows = workload.predicted_background(network_);
+  const std::vector<routing::Flow> foreground =
+      foreground_flows(workload.injection_points(), options.mtu_bytes,
+                       options.foreground_utilization);
+  flows.insert(flows.end(), foreground.begin(), foreground.end());
+
+  const routing::AggregatedLoad load =
+      options.use_traceroute ? aggregate_via_traceroute(flows)
+                             : routing::aggregate_flows(network_, routes_,
+                                                        flows);
+  TrafficEstimate estimate;
+  estimate.link_load = load.link_load;
+  estimate.node_load = load.node_load;
+  return estimate;
+}
+
+TrafficEstimate Mapper::estimate_profile(
+    const emu::NetFlowCollector& profile,
+    const std::vector<std::vector<double>>& engine_series,
+    const MappingOptions& options, std::vector<Segment>* segments_out) const {
+  TrafficEstimate estimate;
+  estimate.link_load = profile.link_packets();
+  estimate.node_load = profile.node_packets();
+  MASSF_REQUIRE(estimate.node_load.size() ==
+                    static_cast<std::size_t>(network_.node_count()),
+                "profile does not match the network");
+
+  if (options.use_segments && !engine_series.empty()) {
+    const std::vector<Segment> segments =
+        cluster_segments(engine_series, options.cluster);
+    if (segments.size() > 1) {
+      estimate.node_segment_load =
+          segment_node_weights(profile.node_series(), segments);
+    }
+    if (segments_out != nullptr) *segments_out = segments;
+  }
+  return estimate;
+}
+
+MappingResult Mapper::map_place(const traffic::Workload& workload,
+                                const MappingOptions& options) const {
+  MASSF_REQUIRE(options.engines >= 1, "need at least one engine");
+  partition::PartitionOptions popts = options.partition;
+  popts.parts = options.engines;
+
+  const TrafficEstimate estimate = estimate_place(workload, options);
+  const graph::Graph g = build_mapping_graph(
+      network_, structure_, estimate.node_load, {}, options.memory_priority,
+      latency_arc_weights(network_, structure_));
+  popts.epsilon_per_constraint = constraint_epsilons(options, 0);
+
+  const partition::ObjectiveWeights objectives =
+      make_objectives(network_, structure_, estimate.link_load);
+  MappingResult best;
+  for (int trial = 0; trial < std::max(1, options.trials); ++trial) {
+    popts.seed = mix_seed(options.partition.seed, 0x97ACE + trial);
+    partition::MultiObjectiveResult result =
+        partition::partition_multiobjective(g, objectives,
+                                            options.latency_priority, popts);
+    MappingResult candidate = finish(
+        Approach::Place, std::move(result.partition), options,
+        &estimate.link_load, 0);
+    if (trial == 0 || better_mapping(candidate, best))
+      best = std::move(candidate);
+  }
+  return best;
+}
+
+MappingResult Mapper::map_profile(
+    const emu::NetFlowCollector& profile,
+    const std::vector<std::vector<double>>& engine_series,
+    const MappingOptions& options) const {
+  MASSF_REQUIRE(options.engines >= 1, "need at least one engine");
+  partition::PartitionOptions popts = options.partition;
+  popts.parts = options.engines;
+
+  std::vector<Segment> segments;
+  const TrafficEstimate estimate =
+      estimate_profile(profile, engine_series, options, &segments);
+
+  const graph::Graph g = build_mapping_graph(
+      network_, structure_, estimate.node_load, estimate.node_segment_load,
+      options.memory_priority, latency_arc_weights(network_, structure_));
+  popts.epsilon_per_constraint = constraint_epsilons(
+      options, static_cast<int>(estimate.node_segment_load.size()));
+
+  const partition::ObjectiveWeights objectives =
+      make_objectives(network_, structure_, estimate.link_load);
+  MappingResult best;
+  for (int trial = 0; trial < std::max(1, options.trials); ++trial) {
+    popts.seed = mix_seed(options.partition.seed, 0x9120F17E + trial);
+    partition::MultiObjectiveResult result =
+        partition::partition_multiobjective(g, objectives,
+                                            options.latency_priority, popts);
+    MappingResult candidate = finish(
+        Approach::Profile, std::move(result.partition), options,
+        &estimate.link_load,
+        static_cast<int>(estimate.node_segment_load.size()));
+    if (trial == 0 || better_mapping(candidate, best))
+      best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace massf::mapping

@@ -1,0 +1,131 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace massf::mapping {
+
+std::vector<double> RunMetrics::imbalance_series() const {
+  std::vector<double> out;
+  if (engine_series.empty()) return out;
+  const std::size_t buckets = engine_series.front().size();
+  out.reserve(buckets);
+  std::vector<double> column(engine_series.size());
+  for (std::size_t b = 0; b < buckets; ++b) {
+    for (std::size_t e = 0; e < engine_series.size(); ++e)
+      column[e] = engine_series[e][b];
+    out.push_back(normalized_imbalance(column));
+  }
+  return out;
+}
+
+Experiment::Experiment(ExperimentSetup setup)
+    : setup_(std::move(setup)),
+      mapper_(*setup_.network, *setup_.routes),
+      horizon_(setup_.horizon) {
+  MASSF_REQUIRE(setup_.network != nullptr, "experiment needs a network");
+  MASSF_REQUIRE(setup_.routes != nullptr, "experiment needs routing tables");
+  MASSF_REQUIRE(setup_.workload != nullptr, "experiment needs a workload");
+  MASSF_REQUIRE(setup_.engines >= 1, "experiment needs >= 1 engine");
+  setup_.mapping.engines = setup_.engines;
+  setup_.emulator.bucket_width = std::max(setup_.emulator.bucket_width, 1e-3);
+  if (horizon_ <= 0) horizon_ = setup_.workload->duration() * 2.5;
+}
+
+MappingResult Experiment::map(Approach approach) {
+  switch (approach) {
+    case Approach::Top:
+      return mapper_.map_top(setup_.mapping);
+    case Approach::Place:
+      return mapper_.map_place(*setup_.workload, setup_.mapping);
+    case Approach::Profile: {
+      ensure_profile();
+      return mapper_.map_profile(*profile_netflow_, profile_node_series_,
+                                 setup_.mapping);
+    }
+  }
+  MASSF_CHECK(false, "unknown approach");
+}
+
+void Experiment::ensure_profile() {
+  if (profile_netflow_ != nullptr) return;
+  // "Typically this involves an initial emulation experiment using an
+  // initial partition and traffic monitoring" — the initial partition is
+  // TOP's (the cheap static one).
+  MASSF_LOG_INFO << "PROFILE: running profiling emulation (TOP partition)";
+  const MappingResult initial = mapper_.map_top(setup_.mapping);
+
+  emu::EmulatorConfig config = setup_.emulator;
+  config.collect_netflow = true;
+  emu::Emulator emulator(*setup_.network, *setup_.routes,
+                         initial.node_engine, setup_.engines, config);
+  const traffic::Workload& profiled = setup_.profile_workload
+                                          ? *setup_.profile_workload
+                                          : *setup_.workload;
+  profiled.install(emulator);
+  emulator.run(horizon_, setup_.mode);
+
+  profiling_metrics_ = collect(emulator);
+  profile_netflow_ =
+      std::make_unique<emu::NetFlowCollector>(emulator.netflow());
+  // Cluster on the *profiling run's* engine load curves (§3.3: the load
+  // curves of the physical nodes).
+  profile_node_series_ = emulator.kernel_stats().load_series;
+}
+
+RunMetrics Experiment::collect(emu::Emulator& emulator) const {
+  const des::KernelStats& ks = emulator.kernel_stats();
+  RunMetrics metrics;
+  metrics.engine_events = ks.loads();
+  metrics.load_imbalance = normalized_imbalance(metrics.engine_events);
+  metrics.emulation_time = ks.coupled_time;
+  metrics.network_time = ks.modeled_time;
+  metrics.engine_series = ks.load_series;
+  metrics.bucket_width = ks.bucket_width;
+  metrics.windows = ks.windows;
+  metrics.remote_messages = ks.remote_messages;
+  metrics.lookahead = emulator.lookahead();
+  metrics.sim_time = ks.sim_time_reached;
+  metrics.emulator_stats = emulator.stats();
+  return metrics;
+}
+
+RunMetrics Experiment::run(const MappingResult& mapping,
+                           emu::Trace* record) const {
+  MASSF_REQUIRE(mapping.engines == setup_.engines,
+                "mapping was computed for a different engine count");
+  emu::Emulator emulator(*setup_.network, *setup_.routes, mapping.node_engine,
+                         setup_.engines, setup_.emulator);
+  std::unique_ptr<emu::TraceRecorder> recorder;
+  if (record != nullptr) {
+    recorder =
+        std::make_unique<emu::TraceRecorder>(setup_.network->node_count());
+    emulator.set_trace_recorder(recorder.get());
+  }
+  setup_.workload->install(emulator);
+  emulator.run(horizon_, setup_.mode);
+  if (record != nullptr) *record = recorder->finish();
+  return collect(emulator);
+}
+
+RunMetrics Experiment::replay(const emu::Trace& trace,
+                              const MappingResult& mapping) const {
+  MASSF_REQUIRE(mapping.engines == setup_.engines,
+                "mapping was computed for a different engine count");
+  emu::Emulator emulator(*setup_.network, *setup_.routes, mapping.node_engine,
+                         setup_.engines, setup_.emulator);
+  emu::TraceReplayer replayer(trace);
+  replayer.install(emulator);
+  emulator.run(horizon_, setup_.mode);
+  RunMetrics metrics = collect(emulator);
+  if (replayer.messages_issued() < replayer.messages_total())
+    MASSF_LOG_WARN << "replay issued " << replayer.messages_issued() << "/"
+                   << replayer.messages_total()
+                   << " messages (drops broke some causal chains)";
+  return metrics;
+}
+
+}  // namespace massf::mapping

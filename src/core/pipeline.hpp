@@ -1,0 +1,111 @@
+// Experiment pipeline: map → emulate → measure (paper Figure 1 plus the
+// evaluation methodology of §4.1).
+//
+// An Experiment owns one (network, workload, engine-count) combination and
+// exposes the paper's measurement loop:
+//   * map(approach)            — compute a mapping; PROFILE transparently
+//                                performs the profiling run ("an initial
+//                                emulation experiment using an initial
+//                                partition and traffic monitoring") using
+//                                the TOP mapping, and caches it;
+//   * run(mapping)             — execute the workload under a mapping and
+//                                report the paper's three metrics;
+//   * run + record / replay    — capture an app-level trace and replay it
+//                                with zero compute (network emulation time
+//                                in isolation, Figures 9/10).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/mapper.hpp"
+#include "emu/emulator.hpp"
+#include "emu/trace.hpp"
+#include "traffic/workload.hpp"
+
+namespace massf::mapping {
+
+struct ExperimentSetup {
+  const Network* network = nullptr;
+  const routing::RoutingTables* routes = nullptr;
+  std::shared_ptr<const traffic::Workload> workload;
+  /// Optional distinct workload for the PROFILE profiling run (defaults to
+  /// `workload`). Using a variant with different traffic dynamics models
+  /// the paper's §6 scenario: profile once, reuse the data for *similar*
+  /// (not identical) emulations.
+  std::shared_ptr<const traffic::Workload> profile_workload;
+  int engines = 2;
+  MappingOptions mapping{};
+  emu::EmulatorConfig emulator{};
+  /// Simulation horizon; 0 → 2.5 × workload duration.
+  double horizon = 0;
+  des::ExecutionMode mode = des::ExecutionMode::Sequential;
+};
+
+/// Measurements of one emulation run (the paper's §4.1.1 metrics).
+struct RunMetrics {
+  /// Normalized std deviation of per-engine kernel event counts.
+  double load_imbalance = 0;
+  /// Modeled application emulation time (engine work floored by the live
+  /// application's real-time compute; paper Figures 6/7).
+  double emulation_time = 0;
+  /// Pure engine time (Σ windows max busy + sync) — the isolated network
+  /// emulation metric used for replays (Figures 9/10).
+  double network_time = 0;
+  /// Per-engine kernel event counts.
+  std::vector<double> engine_events;
+  /// Per-engine per-bucket event counts (fine-grained load, Figures 2/8).
+  std::vector<std::vector<double>> engine_series;
+  double bucket_width = 2.0;
+  std::uint64_t windows = 0;
+  std::uint64_t remote_messages = 0;
+  double lookahead = 0;
+  double sim_time = 0;
+  emu::EmulatorStats emulator_stats{};
+
+  /// Load imbalance per time bucket (Figure 8's series).
+  std::vector<double> imbalance_series() const;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentSetup setup);
+
+  const Mapper& mapper() const { return mapper_; }
+  const ExperimentSetup& setup() const { return setup_; }
+
+  /// Compute a mapping with the configured approach. For PROFILE this
+  /// triggers (and caches) the profiling run.
+  MappingResult map(Approach approach);
+
+  /// Run the workload under a mapping. If `record` is non-null the
+  /// application traffic is captured into it.
+  RunMetrics run(const MappingResult& mapping,
+                 emu::Trace* record = nullptr) const;
+
+  /// Replay a recorded trace under a mapping: zero application compute,
+  /// maximum causal speed — the isolated network-emulation-time metric.
+  RunMetrics replay(const emu::Trace& trace,
+                    const MappingResult& mapping) const;
+
+  /// Metrics of the cached profiling run (after map(Profile)).
+  const std::optional<RunMetrics>& profiling_metrics() const {
+    return profiling_metrics_;
+  }
+
+ private:
+  RunMetrics collect(emu::Emulator& emulator) const;
+  void ensure_profile();
+
+  ExperimentSetup setup_;
+  Mapper mapper_;
+  double horizon_;
+  // Cached profiling-run artifacts (populated by the first map(Profile)).
+  std::optional<RunMetrics> profiling_metrics_;
+  std::vector<double> profile_link_packets_;
+  std::vector<double> profile_node_packets_;
+  std::vector<std::vector<double>> profile_node_series_;
+  std::unique_ptr<emu::NetFlowCollector> profile_netflow_;
+};
+
+}  // namespace massf::mapping

@@ -1,0 +1,34 @@
+// The traffic estimate that feeds the network-mapping weight builders.
+//
+// All three approaches reduce to the same intermediate form — how many
+// packets per second cross each link and get processed at each node — they
+// differ only in where the numbers come from (§3):
+//   TOP:     no estimate (structure only),
+//   PLACE:   predicted background flows + injection-point heuristic routed
+//            over traceroute-discovered paths,
+//   PROFILE: NetFlow measurements from a profiling run.
+#pragma once
+
+#include <vector>
+
+#include "topology/network.hpp"
+
+namespace massf::mapping {
+
+using topology::LinkId;
+using topology::Network;
+using topology::NodeId;
+
+struct TrafficEstimate {
+  /// Packets/s carried per link (both directions summed).
+  std::vector<double> link_load;
+  /// Packets/s processed per node (arrivals + locally injected).
+  std::vector<double> node_load;
+  /// Optional: per-segment per-node processing load (rows = segments,
+  /// columns = nodes). Empty unless PROFILE segment clustering ran.
+  std::vector<std::vector<double>> node_segment_load;
+
+  bool empty() const { return link_load.empty(); }
+};
+
+}  // namespace massf::mapping

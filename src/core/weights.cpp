@@ -1,0 +1,159 @@
+#include "core/weights.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/maxflow.hpp"
+#include "util/error.hpp"
+
+namespace massf::mapping {
+
+std::vector<double> memory_weights(const Network& network) {
+  const std::vector<int> as_routers = network.routers_per_as();
+  std::vector<double> weights(static_cast<std::size_t>(network.node_count()));
+  for (NodeId v = 0; v < network.node_count(); ++v) {
+    const topology::Node& node = network.node(v);
+    if (node.kind == topology::NodeKind::Router) {
+      const double x =
+          static_cast<double>(as_routers[static_cast<std::size_t>(node.as_id)]);
+      weights[static_cast<std::size_t>(v)] = 10.0 + x * x;
+    } else {
+      weights[static_cast<std::size_t>(v)] = 1.0;
+    }
+  }
+  return weights;
+}
+
+std::vector<double> bandwidth_weights(const Network& network) {
+  std::vector<double> weights(static_cast<std::size_t>(network.node_count()));
+  for (NodeId v = 0; v < network.node_count(); ++v)
+    weights[static_cast<std::size_t>(v)] =
+        network.total_incident_bandwidth(v) / 1e6;  // Mb/s
+  return weights;
+}
+
+double bipartition_flow(std::span<const double> in,
+                        std::span<const double> out) {
+  MASSF_REQUIRE(in.size() == out.size(),
+                "in/out spans must cover the same incident links");
+  const int ports = static_cast<int>(in.size());
+  if (ports == 0) return 0;
+  // Star flow network: source -> in-port_i (cap in_i), in-port_i -> hub,
+  // hub -> out-port_j, out-port_j -> sink (cap out_j). The hub models the
+  // node; port-to-hub arcs are uncapacitated.
+  const int source = 0, hub = 1, sink = 2;
+  graph::FlowNetwork net(3 + 2 * ports);
+  constexpr double kInf = std::numeric_limits<double>::max() / 4;
+  for (int i = 0; i < ports; ++i) {
+    const int in_port = 3 + i;
+    const int out_port = 3 + ports + i;
+    net.add_arc(source, in_port, in[static_cast<std::size_t>(i)]);
+    net.add_arc(in_port, hub, kInf);
+    net.add_arc(hub, out_port, kInf);
+    net.add_arc(out_port, sink, out[static_cast<std::size_t>(i)]);
+  }
+  return net.max_flow(source, sink);
+}
+
+namespace {
+
+/// Link id for the arc u—v of the structure graph. Parallel virtual links
+/// between the same node pair are merged by GraphBuilder, so the first
+/// matching link carries the arc's semantics.
+topology::LinkId arc_link(const Network& network, graph::VertexId u,
+                          graph::VertexId v) {
+  const auto link = network.find_link(u, v);
+  MASSF_CHECK(link.has_value(),
+              "structure arc " << u << "—" << v << " has no network link");
+  return *link;
+}
+
+}  // namespace
+
+std::vector<double> latency_arc_weights(const Network& network,
+                                        const graph::Graph& structure) {
+  MASSF_REQUIRE(structure.vertex_count() == network.node_count(),
+                "structure graph must mirror the network");
+  const double min_latency = network.min_link_latency();
+  std::vector<double> weights(
+      static_cast<std::size_t>(structure.arc_count()));
+  for (graph::VertexId u = 0; u < structure.vertex_count(); ++u) {
+    for (graph::ArcIndex a = structure.arc_begin(u); a != structure.arc_end(u);
+         ++a) {
+      const graph::VertexId v = structure.arc_target(a);
+      const topology::Link& link = network.link(arc_link(network, u, v));
+      const double ratio = min_latency / link.latency_s;
+      // Squared reciprocal: the lookahead is the *minimum* cut-link
+      // latency, so a single low-latency cut edge is catastrophic. The
+      // quadratic makes cutting one 0.1 ms access link as expensive as a
+      // hundred 1 ms backbone links, steering cuts to high-latency links.
+      weights[static_cast<std::size_t>(a)] = ratio * ratio;
+    }
+  }
+  return weights;
+}
+
+std::vector<double> traffic_arc_weights(const Network& network,
+                                        const graph::Graph& structure,
+                                        const std::vector<double>& link_load) {
+  MASSF_REQUIRE(structure.vertex_count() == network.node_count(),
+                "structure graph must mirror the network");
+  MASSF_REQUIRE(link_load.size() ==
+                    static_cast<std::size_t>(network.link_count()),
+                "link_load must have one entry per link");
+  std::vector<double> weights(
+      static_cast<std::size_t>(structure.arc_count()));
+  for (graph::VertexId u = 0; u < structure.vertex_count(); ++u) {
+    for (graph::ArcIndex a = structure.arc_begin(u); a != structure.arc_end(u);
+         ++a) {
+      const graph::VertexId v = structure.arc_target(a);
+      weights[static_cast<std::size_t>(a)] =
+          link_load[static_cast<std::size_t>(arc_link(network, u, v))];
+    }
+  }
+  return weights;
+}
+
+graph::Graph build_mapping_graph(
+    const Network& network, const graph::Graph& structure,
+    const std::vector<double>& compute_weight,
+    const std::vector<std::vector<double>>& segment_weights,
+    double memory_priority, const std::vector<double>& arc_weights) {
+  const auto n = static_cast<std::size_t>(network.node_count());
+  MASSF_REQUIRE(compute_weight.size() == n,
+                "compute weights must cover every node");
+  MASSF_REQUIRE(memory_priority >= 0, "memory priority must be >= 0");
+  for (const auto& segment : segment_weights)
+    MASSF_REQUIRE(segment.size() == n,
+                  "segment weights must cover every node");
+
+  const int segments = static_cast<int>(segment_weights.size());
+  const bool use_memory = memory_priority > 0;
+  const int ncon = 1 + segments + (use_memory ? 1 : 0);
+
+  const std::vector<double> memory = memory_weights(network);
+  std::vector<double> vwgt(n * static_cast<std::size_t>(ncon));
+  for (std::size_t v = 0; v < n; ++v) {
+    double* row = &vwgt[v * static_cast<std::size_t>(ncon)];
+    // A tiny floor keeps completely idle nodes movable without letting
+    // them dominate any block.
+    row[0] = compute_weight[v] + 1e-6;
+    for (int s = 0; s < segments; ++s)
+      row[1 + s] = segment_weights[static_cast<std::size_t>(s)][v] + 1e-6;
+    if (use_memory) row[ncon - 1] = memory[v];
+  }
+
+  return structure.with_vertex_weights(std::move(vwgt), ncon)
+      .with_arc_weights(arc_weights);
+}
+
+partition::ObjectiveWeights make_objectives(
+    const Network& network, const graph::Graph& structure,
+    const std::vector<double>& link_load) {
+  partition::ObjectiveWeights objectives;
+  objectives.latency = latency_arc_weights(network, structure);
+  objectives.traffic = traffic_arc_weights(network, structure, link_load);
+  return objectives;
+}
+
+}  // namespace massf::mapping

@@ -1,0 +1,351 @@
+#include "des/kernel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cmath>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+namespace massf::des {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_mix(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t time_bits(SimTime t) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(t));
+  std::memcpy(&bits, &t, sizeof(bits));
+  return bits;
+}
+
+// Execution context of the thread currently running events. Thread-local so
+// Threaded mode is race-free; Sequential mode uses the caller's thread.
+thread_local int tl_current_lp = -1;
+thread_local SimTime tl_now = 0;
+
+}  // namespace
+
+std::vector<double> KernelStats::loads() const {
+  std::vector<double> out(events_per_lp.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<double>(events_per_lp[i]);
+  return out;
+}
+
+struct Kernel::Impl {
+  struct Event {
+    SimTime t;
+    std::uint32_t origin;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      if (a.origin != b.origin) return a.origin > b.origin;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Lp {
+    std::priority_queue<Event, std::vector<Event>, EventLater> queue;
+    std::uint64_t seq_counter = 0;
+    std::vector<std::vector<Event>> outbox;  // one slot per destination LP
+    double window_busy = 0;
+    std::uint64_t events = 0;
+    double busy_total = 0;
+    std::uint64_t remote_sent = 0;
+    std::uint64_t remote_received = 0;
+    std::uint64_t history = kFnvOffset;
+    SimTime max_time = 0;
+    SimTime published_next = Kernel::never();
+    std::vector<double> series;  // event counts per sim-time bucket
+  };
+
+  std::vector<Lp> lps;
+
+  explicit Impl(int lp_count) : lps(static_cast<std::size_t>(lp_count)) {
+    for (Lp& lp : lps) lp.outbox.resize(static_cast<std::size_t>(lp_count));
+  }
+
+  /// Run one LP's events with t < window_end; `execute` performs accounting
+  /// and invokes the callback.
+  template <typename ExecuteFn>
+  static void process_window(Lp& lp, SimTime window_end, ExecuteFn&& execute) {
+    while (!lp.queue.empty() && lp.queue.top().t < window_end) {
+      // top() is const; move the callback out before popping (safe: the
+      // element is discarded by the pop that immediately follows).
+      auto& slot = const_cast<Event&>(lp.queue.top());
+      Event event{slot.t, slot.origin, slot.seq, std::move(slot.fn)};
+      lp.queue.pop();
+      execute(event);
+    }
+  }
+
+  /// Shared per-event accounting + callback invocation.
+  void execute_event(Lp& lp, Event& e, double per_event_cost,
+                     double bucket_width) {
+    tl_now = e.t;
+    lp.window_busy += per_event_cost;
+    ++lp.events;
+    lp.max_time = std::max(lp.max_time, e.t);
+    lp.history = fnv_mix(lp.history, time_bits(e.t));
+    lp.history = fnv_mix(
+        lp.history, (static_cast<std::uint64_t>(e.origin) << 32) ^ e.seq);
+    const auto bucket = static_cast<std::size_t>(e.t / bucket_width);
+    if (lp.series.size() <= bucket) lp.series.resize(bucket + 1, 0.0);
+    lp.series[bucket] += 1;
+    e.fn();
+  }
+
+  /// Deliver every source's outbox slot for `dst` into dst's queue.
+  void drain_inboxes(std::size_t dst, double per_remote_cost) {
+    Lp& receiver = lps[dst];
+    for (auto& source : lps) {
+      auto& box = source.outbox[dst];
+      for (auto& event : box) {
+        receiver.window_busy += per_remote_cost;
+        ++receiver.remote_received;
+        receiver.queue.push(std::move(event));
+      }
+      box.clear();
+    }
+  }
+};
+
+Kernel::Kernel(int lp_count, double lookahead, CostModel cost)
+    : lp_count_(lp_count),
+      lookahead_(lookahead),
+      cost_(cost),
+      impl_(std::make_unique<Impl>(lp_count)) {
+  MASSF_REQUIRE(lp_count >= 1, "kernel needs at least one LP");
+  MASSF_REQUIRE(lookahead > 0, "lookahead must be positive");
+  stats_.events_per_lp.assign(static_cast<std::size_t>(lp_count), 0);
+  stats_.busy_per_lp.assign(static_cast<std::size_t>(lp_count), 0.0);
+}
+
+Kernel::~Kernel() = default;
+
+int Kernel::current_lp() const { return tl_current_lp; }
+SimTime Kernel::now() const { return tl_now; }
+
+void Kernel::set_bucket_width(double width) {
+  MASSF_REQUIRE(width > 0, "bucket width must be positive");
+  MASSF_REQUIRE(!ran_, "set bucket width before running");
+  stats_.bucket_width = width;
+}
+
+void Kernel::schedule(int lp, SimTime t, Callback fn) {
+  MASSF_REQUIRE(lp >= 0 && lp < lp_count_, "LP index out of range");
+  MASSF_REQUIRE(std::isfinite(t) && t >= 0, "event time must be finite, >=0");
+  MASSF_REQUIRE(fn, "event callback must be callable");
+  if (tl_current_lp >= 0) {
+    MASSF_REQUIRE(lp == tl_current_lp,
+                  "during execution, schedule() may only target the "
+                  "executing LP (use schedule_remote)");
+    MASSF_REQUIRE(t >= tl_now, "cannot schedule into the past (t="
+                                   << t << " < now=" << tl_now << ")");
+  }
+  Impl::Lp& state = impl_->lps[static_cast<std::size_t>(lp)];
+  state.queue.push(
+      {t, static_cast<std::uint32_t>(lp), state.seq_counter++, std::move(fn)});
+}
+
+void Kernel::schedule_remote(int to_lp, SimTime t, Callback fn) {
+  MASSF_REQUIRE(tl_current_lp >= 0,
+                "schedule_remote may only be called from an executing event");
+  MASSF_REQUIRE(to_lp >= 0 && to_lp < lp_count_, "LP index out of range");
+  MASSF_REQUIRE(fn, "event callback must be callable");
+  // Conservative safety: the receiver may already be executing events up to
+  // now + lookahead. A tiny epsilon absorbs floating-point latency sums.
+  MASSF_REQUIRE(t >= tl_now + lookahead_ - 1e-12,
+                "remote event at t=" << t << " violates lookahead (now="
+                                     << tl_now << ", lookahead=" << lookahead_
+                                     << ")");
+  Impl::Lp& sender = impl_->lps[static_cast<std::size_t>(tl_current_lp)];
+  sender.outbox[static_cast<std::size_t>(to_lp)].push_back(
+      {t, static_cast<std::uint32_t>(tl_current_lp), sender.seq_counter++,
+       std::move(fn)});
+  sender.window_busy += cost_.per_remote_message;
+  ++sender.remote_sent;
+}
+
+void Kernel::run_until(SimTime end_time, ExecutionMode mode) {
+  MASSF_REQUIRE(!ran_, "run_until may only be called once");
+  MASSF_REQUIRE(end_time > 0, "end time must be positive");
+  MASSF_REQUIRE(tl_current_lp < 0, "run_until cannot be nested");
+  ran_ = true;
+  if (mode == ExecutionMode::Sequential)
+    run_sequential(end_time);
+  else
+    run_threaded(end_time);
+
+  // Fold per-LP results into stats_.
+  std::size_t max_buckets = 0;
+  for (int i = 0; i < lp_count_; ++i) {
+    const Impl::Lp& lp = impl_->lps[static_cast<std::size_t>(i)];
+    stats_.events_per_lp[static_cast<std::size_t>(i)] = lp.events;
+    stats_.busy_per_lp[static_cast<std::size_t>(i)] = lp.busy_total;
+    stats_.remote_messages += lp.remote_received;
+    stats_.sim_time_reached = std::max(stats_.sim_time_reached, lp.max_time);
+    stats_.history_hash ^=
+        lp.history * (static_cast<std::uint64_t>(i) * 2654435761ULL + 1);
+    max_buckets = std::max(max_buckets, lp.series.size());
+  }
+  stats_.load_series.assign(static_cast<std::size_t>(lp_count_), {});
+  for (int i = 0; i < lp_count_; ++i) {
+    auto& row = stats_.load_series[static_cast<std::size_t>(i)];
+    row = impl_->lps[static_cast<std::size_t>(i)].series;
+    row.resize(max_buckets, 0.0);
+  }
+}
+
+void Kernel::run_sequential(SimTime end_time) {
+  auto& lps = impl_->lps;
+  const auto k = static_cast<std::size_t>(lp_count_);
+
+  while (true) {
+    // Publish phase: earliest pending event across all LPs.
+    SimTime global_min = never();
+    for (auto& lp : lps)
+      if (!lp.queue.empty())
+        global_min = std::min(global_min, lp.queue.top().t);
+    if (global_min >= end_time || global_min == never()) break;
+
+    const SimTime window_end = std::min(global_min + lookahead_, end_time);
+
+    // Process phase.
+    for (std::size_t i = 0; i < k; ++i) {
+      tl_current_lp = static_cast<int>(i);
+      Impl::Lp& lp = lps[i];
+      Impl::process_window(lp, window_end, [&](Impl::Event& e) {
+        impl_->execute_event(lp, e, cost_.per_event, stats_.bucket_width);
+      });
+    }
+    tl_current_lp = -1;
+
+    // Account the window: critical path = max busy + barrier cost; the
+    // coupled (application) time additionally floors each window at the
+    // simulated-time advance (live apps execute in real time).
+    double max_busy = 0;
+    for (auto& lp : lps) max_busy = std::max(max_busy, lp.window_busy);
+    const double engine_time = max_busy + cost_.per_window_sync;
+    stats_.modeled_time += engine_time;
+    stats_.coupled_time +=
+        std::max(engine_time, window_end - sim_position_);
+    sim_position_ = window_end;
+    ++stats_.windows;
+    for (auto& lp : lps) {
+      lp.busy_total += lp.window_busy;
+      lp.window_busy = 0;
+    }
+
+    // Drain phase: deliver outboxes (the receive cost lands in the next
+    // window's busy time — that is where the work happens).
+    for (std::size_t dst = 0; dst < k; ++dst)
+      impl_->drain_inboxes(dst, cost_.per_remote_message);
+  }
+}
+
+void Kernel::run_threaded(SimTime end_time) {
+  auto& lps = impl_->lps;
+  const auto k = static_cast<std::size_t>(lp_count_);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  SimTime window_end = 0;
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+
+  // Barrier A (after publish/drain): pick the next window or stop.
+  auto decide = [&]() noexcept {
+    SimTime global_min = never();
+    for (auto& lp : lps) global_min = std::min(global_min, lp.published_next);
+    if (global_min >= end_time || global_min == never() ||
+        failed.load(std::memory_order_relaxed))
+      stop.store(true, std::memory_order_relaxed);
+    else
+      window_end = std::min(global_min + lookahead_, end_time);
+  };
+  // Barrier B (after processing): account the finished window.
+  auto account = [&]() noexcept {
+    double max_busy = 0;
+    for (auto& lp : lps) max_busy = std::max(max_busy, lp.window_busy);
+    const double engine_time = max_busy + cost_.per_window_sync;
+    stats_.modeled_time += engine_time;
+    stats_.coupled_time +=
+        std::max(engine_time, window_end - sim_position_);
+    sim_position_ = window_end;
+    ++stats_.windows;
+    for (auto& lp : lps) {
+      lp.busy_total += lp.window_busy;
+      lp.window_busy = 0;
+    }
+  };
+
+  std::barrier barrier_a(static_cast<std::ptrdiff_t>(k), decide);
+  std::barrier barrier_b(static_cast<std::ptrdiff_t>(k), account);
+
+  auto worker = [&](std::size_t i) {
+    Impl::Lp& lp = lps[i];
+    // Which barrier this thread owes next — lets the recovery path keep the
+    // phase protocol intact even when a callback throws mid-window.
+    bool owes_barrier_b = false;
+    try {
+      lp.published_next = lp.queue.empty() ? never() : lp.queue.top().t;
+      while (true) {
+        barrier_a.arrive_and_wait();
+        if (stop.load(std::memory_order_relaxed)) break;
+        owes_barrier_b = true;
+        const SimTime limit = window_end;
+        tl_current_lp = static_cast<int>(i);
+        Impl::process_window(lp, limit, [&](Impl::Event& e) {
+          impl_->execute_event(lp, e, cost_.per_event, stats_.bucket_width);
+        });
+        tl_current_lp = -1;
+        barrier_b.arrive_and_wait();
+        owes_barrier_b = false;
+        impl_->drain_inboxes(i, cost_.per_remote_message);
+        lp.published_next = lp.queue.empty() ? never() : lp.queue.top().t;
+      }
+    } catch (...) {
+      tl_current_lp = -1;
+      {
+        std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+      }
+      failed.store(true, std::memory_order_relaxed);
+      // Keep participating in barriers (publishing "idle") until everyone
+      // observes the stop flag, so no thread deadlocks waiting for us.
+      lp.published_next = never();
+      if (owes_barrier_b) barrier_b.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        barrier_a.arrive_and_wait();
+        if (stop.load(std::memory_order_relaxed)) break;
+        barrier_b.arrive_and_wait();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) threads.emplace_back(worker, i);
+  for (auto& t : threads) t.join();
+  if (failure) std::rethrow_exception(failure);
+}
+
+}  // namespace massf::des

@@ -1,0 +1,160 @@
+// Conservative parallel discrete-event simulation kernel (MaSSF substitute).
+//
+// The emulated network is split across `lp_count` logical processes (LPs) —
+// one per physical "simulation engine node" in the paper. Synchronization is
+// the classic conservative lookahead-window protocol used by DaSSF/MaSSF:
+//
+//   * Every cross-LP interaction must be scheduled at least `lookahead`
+//     into the future (in the emulator, a cross-partition packet hop whose
+//     link latency is >= the minimum cross-partition link latency).
+//   * Execution proceeds in windows [W, W+lookahead): within a window every
+//     LP may process its local events independently; remote events produced
+//     in the window are delivered at the window barrier, which is safe
+//     because their timestamps are >= W+lookahead.
+//   * Idle spans are skipped: the next window starts at the globally
+//     earliest pending event.
+//
+// This is exactly why the paper's TOP objective maximizes cross-partition
+// link latency: a larger lookahead means wider windows, fewer barriers, and
+// more concurrency (§2.2.3).
+//
+// The kernel runs in two modes that produce bit-identical event histories:
+// Sequential (default; benches use it for determinism) and Threaded (one
+// std::thread per LP with std::barrier synchronization, demonstrating real
+// parallel execution).
+//
+// "Emulation time" is *modeled*, not measured: each event costs
+// cost.per_event seconds of engine CPU, each remote message costs
+// cost.per_remote_message on both sender and receiver, and each window
+// costs max-over-LPs(window busy time) + cost.per_window_sync. This models
+// the per-window critical path on a real cluster — precisely the quantity
+// load balance improves — while keeping results deterministic (DESIGN.md
+// substitution notes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace massf::des {
+
+using SimTime = double;
+using Callback = std::function<void()>;
+
+/// Per-operation costs (seconds of engine CPU) for the modeled emulation
+/// time. Defaults approximate the paper's 550 MHz PII engines on 100 Mb/s
+/// Ethernet: ~5 µs to process a packet event, ~20 µs to ship one across
+/// engines, ~200 µs for a cluster-wide window barrier.
+struct CostModel {
+  double per_event = 5e-6;
+  double per_remote_message = 20e-6;
+  double per_window_sync = 200e-6;
+};
+
+/// Execution statistics; the raw material for every paper metric.
+struct KernelStats {
+  /// Simulation kernel events executed per LP (the paper's per-engine load,
+  /// §4.1.1: "essentially one per packet").
+  std::vector<std::uint64_t> events_per_lp;
+  /// Modeled busy seconds per LP.
+  std::vector<double> busy_per_lp;
+  /// Cross-LP messages delivered.
+  std::uint64_t remote_messages = 0;
+  /// Synchronization windows executed (each implies a barrier).
+  std::uint64_t windows = 0;
+  /// Modeled wall-clock emulation time (see header comment): pure engine
+  /// work, Σ_windows (max busy + sync). The right metric for replay runs
+  /// ("network emulation time in isolation", paper Figures 9/10).
+  double modeled_time = 0;
+  /// Modeled *application* emulation time: per window,
+  /// max(simulated-time advance, engine work). Live applications execute
+  /// directly at real-time speed, so the emulation cannot finish a window
+  /// faster than the application computes through it — the emulator only
+  /// shows up when it is the bottleneck. This is the paper's "application
+  /// emulation time" (Figures 6/7) and explains why compute-bound GridNPB
+  /// sees smaller relative gains than ScaLapack.
+  double coupled_time = 0;
+  /// Highest event timestamp executed.
+  SimTime sim_time_reached = 0;
+  /// Per-LP event counts bucketed by simulation time (row = LP, column =
+  /// bucket of width `bucket_width`); drives the fine-grained imbalance
+  /// figures (paper Figures 2 and 8).
+  double bucket_width = 2.0;
+  std::vector<std::vector<double>> load_series;
+  /// FNV-1a hash of each LP's executed (time, origin, seq) stream, XORed
+  /// across LPs; identical between Sequential and Threaded runs.
+  std::uint64_t history_hash = 0;
+
+  /// Per-LP event rates as doubles (for stats::normalized_imbalance).
+  std::vector<double> loads() const;
+};
+
+enum class ExecutionMode { Sequential, Threaded };
+
+/// The simulation kernel. Not reusable: construct, populate, run once.
+class Kernel {
+ public:
+  /// lookahead must be positive: it is the cross-LP scheduling horizon.
+  Kernel(int lp_count, double lookahead, CostModel cost = {});
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  int lp_count() const { return lp_count_; }
+  double lookahead() const { return lookahead_; }
+
+  /// Simulation-time bucket width for the load series (default 2 s, the
+  /// paper's fine-grained measurement interval). Set before run_until.
+  void set_bucket_width(double width);
+
+  /// Schedule an event on LP `lp` at absolute time `t`.
+  /// Before run_until(): any LP may be targeted (initial event population).
+  /// During execution: only the currently executing LP may be targeted
+  /// (same-engine hop); use schedule_remote for other LPs.
+  void schedule(int lp, SimTime t, Callback fn);
+
+  /// Schedule onto another LP from inside an executing event. Requires
+  /// t >= now() + lookahead() (conservative safety; the emulator satisfies
+  /// this because cross-partition link latencies are >= lookahead).
+  void schedule_remote(int to_lp, SimTime t, Callback fn);
+
+  /// The LP whose event is currently executing on this thread (-1 outside
+  /// event execution). Thread-local so it is correct in Threaded mode.
+  int current_lp() const;
+
+  /// Timestamp of the event currently executing on this thread (0 outside
+  /// event execution).
+  SimTime now() const;
+
+  /// Execute until no events remain with time < end_time. May be called
+  /// once.
+  void run_until(SimTime end_time,
+                 ExecutionMode mode = ExecutionMode::Sequential);
+
+  const KernelStats& stats() const { return stats_; }
+
+  static constexpr SimTime never() {
+    return std::numeric_limits<SimTime>::infinity();
+  }
+
+ private:
+  struct Impl;
+
+  void run_sequential(SimTime end_time);
+  void run_threaded(SimTime end_time);
+
+  int lp_count_;
+  double lookahead_;
+  CostModel cost_;
+  KernelStats stats_;
+  SimTime sim_position_ = 0;  // sim time already charged to coupled_time
+  bool ran_ = false;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace massf::des

@@ -1,0 +1,78 @@
+// Application layer: message-passing endpoints hosted on emulated hosts.
+//
+// MaSSF directly executes real applications (ScaLAPACK over MPICH-G,
+// GridNPB) whose sockets are redirected into the emulator. Our substitute
+// is a deterministic message-passing framework: an AppEndpoint instance
+// lives on each participating host, receives start/receive upcalls on that
+// host's engine (LP), and interacts with the network exclusively through
+// AppApi — so all endpoint state is partitioned per host and the framework
+// is race-free in threaded kernel mode. Traffic models (HTTP background,
+// ScaLapack-like, GridNPB-like) are built on this interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "emu/packet.hpp"
+
+namespace massf::emu {
+
+class Emulator;
+
+/// One application message (possibly many packet trains on the wire).
+struct AppMessage {
+  NodeId src = -1;
+  NodeId dst = -1;
+  double bytes = 0;
+  int tag = 0;
+  std::uint64_t id = 0;
+  SimTime sent_at = 0;
+  SimTime delivered_at = 0;
+};
+
+/// Capability handle passed to endpoint upcalls; valid only for the
+/// duration of the upcall and only on the endpoint's host.
+class AppApi {
+ public:
+  AppApi(Emulator& emulator, NodeId host)
+      : emulator_(emulator), host_(host) {}
+
+  /// The host this endpoint lives on.
+  NodeId self() const { return host_; }
+
+  /// Current simulation time.
+  SimTime now() const;
+
+  /// Send an application message to another host; returns its message id.
+  /// The message is packetized and injected on this host's access link.
+  std::uint64_t send(NodeId dst, double bytes, int tag = 0);
+
+  /// Model a compute phase: run `fn` on this host after `delay` seconds of
+  /// simulated computation.
+  void after(double delay, std::function<void()> fn);
+
+  Emulator& emulator() { return emulator_; }
+
+ private:
+  Emulator& emulator_;
+  NodeId host_;
+};
+
+/// Base class for application endpoints. Default upcalls do nothing.
+class AppEndpoint {
+ public:
+  virtual ~AppEndpoint() = default;
+
+  /// Invoked once at the endpoint's start time.
+  virtual void start(AppApi& api) { (void)api; }
+
+  /// Invoked when an application message addressed to this host is fully
+  /// delivered.
+  virtual void receive(AppApi& api, const AppMessage& message) {
+    (void)api;
+    (void)message;
+  }
+};
+
+}  // namespace massf::emu

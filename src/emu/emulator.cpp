@@ -1,0 +1,313 @@
+#include "emu/emulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "emu/trace.hpp"
+#include "util/rng.hpp"
+
+namespace massf::emu {
+
+namespace {
+
+/// Stable flow id for (src, dst, tag) — NetFlow's aggregation key.
+std::uint64_t flow_id(NodeId src, NodeId dst, int tag) {
+  return mix_seed(mix_seed(static_cast<std::uint64_t>(src) + 1,
+                           static_cast<std::uint64_t>(dst) + 1),
+                  static_cast<std::uint64_t>(tag) + 0x51ULL);
+}
+
+constexpr std::uint64_t kIcmpFlowBase = 0xfeedface00000000ULL;
+
+}  // namespace
+
+SimTime AppApi::now() const { return emulator_.kernel().now(); }
+
+std::uint64_t AppApi::send(NodeId dst, double bytes, int tag) {
+  return emulator_.send_message(host_, dst, bytes, tag, now());
+}
+
+void AppApi::after(double delay, std::function<void()> fn) {
+  MASSF_REQUIRE(delay >= 0, "compute delay must be non-negative");
+  emulator_.schedule_on_host(host_, now() + delay, std::move(fn));
+}
+
+Emulator::Emulator(const topology::Network& network,
+                   const routing::RoutingTables& routes,
+                   std::vector<int> node_engine, int engines,
+                   EmulatorConfig config)
+    : network_(network),
+      routes_(routes),
+      node_engine_(std::move(node_engine)),
+      engines_(engines),
+      config_(config),
+      lookahead_(0),
+      host_state_(static_cast<std::size_t>(network.node_count())),
+      link_next_free_(2 * static_cast<std::size_t>(network.link_count()), 0.0),
+      link_drops_(2 * static_cast<std::size_t>(network.link_count()), 0) {
+  MASSF_REQUIRE(engines_ >= 1, "need at least one engine");
+  MASSF_REQUIRE(node_engine_.size() ==
+                    static_cast<std::size_t>(network.node_count()),
+                "node_engine must cover every node");
+  for (int e : node_engine_)
+    MASSF_REQUIRE(e >= 0 && e < engines_, "engine id out of range");
+  MASSF_REQUIRE(config_.mtu_bytes > 0, "MTU must be positive");
+  MASSF_REQUIRE(config_.train_packets >= 1, "train size must be >= 1");
+
+  lookahead_ = compute_lookahead();
+  kernel_ = std::make_unique<des::Kernel>(engines_, lookahead_, config_.cost);
+  kernel_->set_bucket_width(config_.bucket_width);
+  if (config_.collect_netflow)
+    netflow_ = std::make_unique<NetFlowCollector>(
+        network.node_count(), network.link_count(), config_.bucket_width);
+}
+
+Emulator::~Emulator() = default;
+
+int Emulator::engine_of(NodeId node) const {
+  MASSF_REQUIRE(node >= 0 && node < network_.node_count(),
+                "node out of range");
+  return node_engine_[static_cast<std::size_t>(node)];
+}
+
+double Emulator::compute_lookahead() const {
+  double lo = std::numeric_limits<double>::infinity();
+  for (topology::LinkId l = 0; l < network_.link_count(); ++l) {
+    const topology::Link& link = network_.link(l);
+    if (node_engine_[static_cast<std::size_t>(link.a)] !=
+        node_engine_[static_cast<std::size_t>(link.b)])
+      lo = std::min(lo, link.latency_s);
+  }
+  if (!std::isfinite(lo)) lo = std::max(config_.min_lookahead,
+                                        network_.min_link_latency());
+  return lo;
+}
+
+void Emulator::install_endpoint(NodeId host,
+                                std::unique_ptr<AppEndpoint> endpoint,
+                                SimTime start_at) {
+  MASSF_REQUIRE(host >= 0 && host < network_.node_count(),
+                "host out of range");
+  MASSF_REQUIRE(endpoint != nullptr, "endpoint must not be null");
+  MASSF_REQUIRE(!ran_, "install endpoints before run()");
+  HostState& state = host_state_[static_cast<std::size_t>(host)];
+  MASSF_REQUIRE(state.endpoint == nullptr,
+                "host " << host << " already has an endpoint");
+  state.endpoint = std::move(endpoint);
+  AppEndpoint* raw = state.endpoint.get();
+  kernel_->schedule(engine_of(host), start_at, [this, host, raw] {
+    AppApi api(*this, host);
+    raw->start(api);
+  });
+}
+
+void Emulator::schedule_on_host(NodeId host, SimTime t, des::Callback fn) {
+  kernel_->schedule(engine_of(host), t, std::move(fn));
+}
+
+std::uint64_t Emulator::send_message(NodeId src, NodeId dst, double bytes,
+                                     int tag, SimTime at) {
+  MASSF_REQUIRE(src >= 0 && src < network_.node_count(), "src out of range");
+  MASSF_REQUIRE(dst >= 0 && dst < network_.node_count(), "dst out of range");
+  MASSF_REQUIRE(src != dst, "messages must cross the network (src != dst)");
+  MASSF_REQUIRE(bytes > 0, "message size must be positive");
+
+  HostState& sender = host_state_[static_cast<std::size_t>(src)];
+  const std::uint64_t message_id =
+      mix_seed(static_cast<std::uint64_t>(src) + 1, ++sender.message_counter);
+  ++sender.messages_sent;
+  if (recorder_ != nullptr)
+    recorder_->on_send(src, dst, bytes, tag, message_id, at);
+
+  // Packetize into trains; the last train carries the delivery callback.
+  const double train_bytes = config_.mtu_bytes * config_.train_packets;
+  const int total_packets =
+      std::max(1, static_cast<int>(std::ceil(bytes / config_.mtu_bytes)));
+  const int trains =
+      std::max(1, static_cast<int>(std::ceil(bytes / train_bytes)));
+  const std::uint64_t flow = flow_id(src, dst, tag);
+
+  double remaining_bytes = bytes;
+  int remaining_packets = total_packets;
+  for (int i = 0; i < trains; ++i) {
+    Packet train;
+    train.src = src;
+    train.dst = dst;
+    train.kind = PacketKind::Data;
+    train.flow = flow;
+    if (i + 1 < trains) {
+      train.bytes = train_bytes;
+      train.packets = config_.train_packets;
+    } else {
+      train.bytes = remaining_bytes;
+      train.packets = std::max(1, remaining_packets);
+      AppMessage message{src, dst, bytes, tag, message_id, at, 0};
+      train.on_delivered = [this, message](SimTime t) mutable {
+        message.delivered_at = t;
+        HostState& receiver =
+            host_state_[static_cast<std::size_t>(message.dst)];
+        ++receiver.messages_delivered;
+        receiver.bytes_delivered += message.bytes;
+        if (recorder_ != nullptr) recorder_->on_delivery(message, t);
+        if (receiver.endpoint != nullptr) {
+          AppApi api(*this, message.dst);
+          receiver.endpoint->receive(api, message);
+        }
+      };
+    }
+    remaining_bytes -= train_bytes;
+    remaining_packets -= config_.train_packets;
+
+    // Each train is injected as its own kernel event at the send time: the
+    // injection overhead the paper measures "by the number of requests
+    // coming from the application".
+    ++sender.trains_injected;
+    kernel_->schedule(engine_of(src), at,
+                      [this, src, train = std::move(train)]() mutable {
+                        arrive(src, std::move(train));
+                      });
+  }
+  return message_id;
+}
+
+void Emulator::send_probe(NodeId src, NodeId dst, int ttl,
+                          std::uint64_t probe_id, SimTime at) {
+  MASSF_REQUIRE(src >= 0 && src < network_.node_count(), "src out of range");
+  MASSF_REQUIRE(dst >= 0 && dst < network_.node_count(), "dst out of range");
+  MASSF_REQUIRE(src != dst, "probe src and dst must differ");
+  MASSF_REQUIRE(ttl >= 1, "probe TTL must be >= 1");
+  Packet probe;
+  probe.src = src;
+  probe.dst = dst;
+  probe.bytes = 64;
+  probe.packets = 1;
+  probe.ttl = ttl;
+  probe.kind = PacketKind::IcmpEcho;
+  probe.flow = kIcmpFlowBase ^ probe_id;
+  probe.probe_id = probe_id;
+  ++host_state_[static_cast<std::size_t>(src)].trains_injected;
+  kernel_->schedule(engine_of(src), at,
+                    [this, src, probe = std::move(probe)]() mutable {
+                      arrive(src, std::move(probe));
+                    });
+}
+
+void Emulator::arrive(NodeId at, Packet packet) {
+  const SimTime t = kernel_->now();
+  if (netflow_) netflow_->record_node(at, packet, t);
+
+  if (at == packet.dst) {
+    deliver(at, packet, t);
+    return;
+  }
+  if (at != packet.src) {
+    // Forwarding at an intermediate node consumes TTL.
+    --packet.ttl;
+    if (packet.ttl <= 0) {
+      if (packet.kind == PacketKind::IcmpEcho) {
+        // ICMP TTL-exceeded report back to the prober (the mechanism the
+        // real traceroute relies on).
+        Packet report;
+        report.src = at;
+        report.dst = packet.src;
+        report.bytes = 64;
+        report.packets = 1;
+        report.ttl = 255;
+        report.kind = PacketKind::IcmpTtlExceeded;
+        report.flow = kIcmpFlowBase ^ packet.probe_id;
+        report.probe_id = packet.probe_id;
+        report.reporter = at;
+        transmit(at, std::move(report), t);
+      }
+      return;  // original packet dropped either way
+    }
+  }
+  transmit(at, std::move(packet), t);
+}
+
+void Emulator::transmit(NodeId from, Packet packet, SimTime t) {
+  const topology::LinkId link_id = routes_.next_link(from, packet.dst);
+  const topology::Link& link = network_.link(link_id);
+  const int dir = link.a == from ? 0 : 1;
+  const std::size_t slot =
+      2 * static_cast<std::size_t>(link_id) + static_cast<std::size_t>(dir);
+
+  const double serialization = packet.bytes * 8.0 / link.bandwidth_bps;
+  const double depart = std::max(t, link_next_free_[slot]);
+  if (depart - t > config_.max_queue_delay) {
+    ++link_drops_[slot];
+    return;  // drop-tail
+  }
+  link_next_free_[slot] = depart + serialization;
+  const SimTime arrival = depart + serialization + link.latency_s;
+
+  if (netflow_) netflow_->record_link(link_id, dir, packet);
+
+  const NodeId to = link.a == from ? link.b : link.a;
+  const int to_engine = engine_of(to);
+  auto event = [this, to, packet = std::move(packet)]() mutable {
+    arrive(to, std::move(packet));
+  };
+  if (to_engine == engine_of(from))
+    kernel_->schedule(to_engine, arrival, std::move(event));
+  else
+    kernel_->schedule_remote(to_engine, arrival, std::move(event));
+}
+
+void Emulator::deliver(NodeId at, Packet& packet, SimTime t) {
+  HostState& state = host_state_[static_cast<std::size_t>(at)];
+  ++state.trains_delivered;
+
+  switch (packet.kind) {
+    case PacketKind::Data:
+      if (packet.on_delivered) packet.on_delivered(t);
+      break;
+    case PacketKind::IcmpEcho: {
+      // Destination answers the probe: echo reply back to the prober.
+      Packet reply;
+      reply.src = at;
+      reply.dst = packet.src;
+      reply.bytes = 64;
+      reply.packets = 1;
+      reply.ttl = 255;
+      reply.kind = PacketKind::IcmpEchoReply;
+      reply.flow = kIcmpFlowBase ^ packet.probe_id;
+      reply.probe_id = packet.probe_id;
+      reply.reporter = at;
+      transmit(at, std::move(reply), t);
+      break;
+    }
+    case PacketKind::IcmpEchoReply:
+    case PacketKind::IcmpTtlExceeded:
+      if (icmp_handler_) icmp_handler_(packet, t);
+      break;
+  }
+}
+
+void Emulator::run(SimTime until, des::ExecutionMode mode) {
+  MASSF_REQUIRE(!ran_, "run() may only be called once");
+  ran_ = true;
+  kernel_->run_until(until, mode);
+}
+
+const NetFlowCollector& Emulator::netflow() const {
+  MASSF_REQUIRE(netflow_ != nullptr,
+                "NetFlow collection was disabled in the config");
+  return *netflow_;
+}
+
+EmulatorStats Emulator::stats() const {
+  EmulatorStats out;
+  for (const HostState& s : host_state_) {
+    out.trains_injected += s.trains_injected;
+    out.trains_delivered += s.trains_delivered;
+    out.messages_sent += s.messages_sent;
+    out.messages_delivered += s.messages_delivered;
+    out.bytes_delivered += s.bytes_delivered;
+  }
+  for (std::uint64_t d : link_drops_) out.trains_dropped += d;
+  return out;
+}
+
+}  // namespace massf::emu

@@ -1,0 +1,171 @@
+// The MaSSF-like distributed network emulator (system S10 in DESIGN.md).
+//
+// An Emulator instance binds together:
+//   * a virtual network (topology::Network) and its routing tables,
+//   * a mapping of virtual nodes onto simulation engines (the partition
+//     assignment under study — the paper's central variable),
+//   * a conservative parallel DES kernel whose lookahead is derived from
+//     the mapping (minimum cross-engine link latency),
+//   * per-link FIFO transmission with serialization + propagation delay and
+//     drop-tail queueing,
+//   * the application layer (emu/app.hpp), ICMP (TTL-exceeded / echo reply
+//     semantics for traceroute), NetFlow profiling, and optional app-level
+//     trace recording.
+//
+// Every packet-train hop is one kernel event on the engine owning the node,
+// so the kernel's per-LP event counts are exactly the paper's per-engine
+// load metric.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "des/kernel.hpp"
+#include "emu/app.hpp"
+#include "emu/netflow.hpp"
+#include "emu/packet.hpp"
+#include "routing/routing.hpp"
+#include "topology/network.hpp"
+
+namespace massf::emu {
+
+class TraceRecorder;
+
+struct EmulatorConfig {
+  /// Maximum transmission unit; messages are split into MTU packets.
+  double mtu_bytes = 1500;
+  /// Packets per train event (1 = pure packet-level emulation).
+  int train_packets = 4;
+  /// Drop-tail threshold: a train is dropped when its link queueing delay
+  /// would exceed this bound.
+  double max_queue_delay = 0.5;
+  /// Sim-time bucket for NetFlow and kernel load series (paper uses 2 s).
+  double bucket_width = 2.0;
+  /// Engine cost model for modeled emulation time.
+  des::CostModel cost{};
+  /// Record NetFlow profiles (tiny overhead; PROFILE needs it).
+  bool collect_netflow = true;
+  /// Fallback lookahead when no link crosses engines (single-engine runs).
+  double min_lookahead = 1e-4;
+};
+
+/// Aggregate emulator counters (folded from per-node slots after a run).
+struct EmulatorStats {
+  std::uint64_t trains_injected = 0;
+  std::uint64_t trains_delivered = 0;
+  std::uint64_t trains_dropped = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  double bytes_delivered = 0;
+};
+
+class Emulator {
+ public:
+  /// `node_engine[node]` = engine (LP) that emulates the node; values in
+  /// [0, engines). The kernel lookahead is the minimum latency over links
+  /// whose endpoints live on different engines.
+  Emulator(const topology::Network& network,
+           const routing::RoutingTables& routes, std::vector<int> node_engine,
+           int engines, EmulatorConfig config = {});
+  ~Emulator();
+
+  Emulator(const Emulator&) = delete;
+  Emulator& operator=(const Emulator&) = delete;
+
+  const topology::Network& network() const { return network_; }
+  const routing::RoutingTables& routes() const { return routes_; }
+  int engines() const { return engines_; }
+  int engine_of(NodeId node) const;
+  double lookahead() const { return lookahead_; }
+  des::Kernel& kernel() { return *kernel_; }
+
+  // ---- Application layer ------------------------------------------------
+
+  /// Install an endpoint on a host; its start() runs at `start_at`.
+  void install_endpoint(NodeId host, std::unique_ptr<AppEndpoint> endpoint,
+                        SimTime start_at = 0);
+
+  /// Inject an application message. Callable at setup time (any host) or
+  /// from code executing on `src`'s engine. Returns the message id.
+  std::uint64_t send_message(NodeId src, NodeId dst, double bytes, int tag,
+                             SimTime at);
+
+  /// Attach an app-level trace recorder (not owned; may be null). Must be
+  /// set before run().
+  void set_trace_recorder(TraceRecorder* recorder) { recorder_ = recorder; }
+
+  // ---- ICMP / traceroute support -----------------------------------------
+
+  /// Send a TTL-limited echo probe from src toward dst at time `at`.
+  void send_probe(NodeId src, NodeId dst, int ttl, std::uint64_t probe_id,
+                  SimTime at);
+
+  /// Handler invoked (on the probing host's engine) whenever an
+  /// IcmpTtlExceeded or IcmpEchoReply packet reaches its destination.
+  void set_icmp_handler(std::function<void(const Packet&, SimTime)> handler) {
+    icmp_handler_ = std::move(handler);
+  }
+
+  // ---- Execution ---------------------------------------------------------
+
+  /// Run the emulation until no event earlier than `until` remains.
+  void run(SimTime until,
+           des::ExecutionMode mode = des::ExecutionMode::Sequential);
+
+  const des::KernelStats& kernel_stats() const { return kernel_->stats(); }
+  const NetFlowCollector& netflow() const;
+  EmulatorStats stats() const;
+
+  /// Per-engine kernel event counts as doubles (the paper's load vector).
+  std::vector<double> engine_loads() const { return kernel_stats().loads(); }
+
+  /// Schedule arbitrary work on a host's engine (used by AppApi::after and
+  /// the replayer). At setup time any host is allowed; during execution the
+  /// host must live on the executing engine.
+  void schedule_on_host(NodeId host, SimTime t, des::Callback fn);
+
+ private:
+  friend class AppApi;
+
+  struct HostState {
+    std::unique_ptr<AppEndpoint> endpoint;
+    std::uint64_t message_counter = 0;
+    // Per-node counters (folded into EmulatorStats; per-slot updates keep
+    // threaded mode race-free).
+    std::uint64_t trains_injected = 0;
+    std::uint64_t trains_delivered = 0;
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_delivered = 0;
+    double bytes_delivered = 0;
+  };
+
+  /// Kernel event: a packet train arrives at (or is injected on) a node.
+  void arrive(NodeId at, Packet packet);
+
+  /// Push a train onto the link toward packet.dst; schedules the next
+  /// arrive() or drops on queue overflow.
+  void transmit(NodeId from, Packet packet, SimTime t);
+
+  void deliver(NodeId at, Packet& packet, SimTime t);
+
+  double compute_lookahead() const;
+
+  const topology::Network& network_;
+  const routing::RoutingTables& routes_;
+  std::vector<int> node_engine_;
+  int engines_;
+  EmulatorConfig config_;
+  double lookahead_;
+  std::unique_ptr<des::Kernel> kernel_;
+  std::unique_ptr<NetFlowCollector> netflow_;
+  std::vector<HostState> host_state_;           // indexed by NodeId
+  std::vector<double> link_next_free_;          // 2 per link (by direction)
+  std::vector<std::uint64_t> link_drops_;       // 2 per link
+  std::function<void(const Packet&, SimTime)> icmp_handler_;
+  TraceRecorder* recorder_ = nullptr;
+  bool ran_ = false;
+};
+
+}  // namespace massf::emu

@@ -1,0 +1,46 @@
+// Packet-level types shared across the emulator.
+//
+// The unit of simulation work is a *packet train*: one kernel event that
+// represents `packets` back-to-back MTU packets of one flow (a standard DES
+// abstraction knob; train size 1 = pure packet-level emulation). The
+// paper's per-engine load metric — "simulation kernel event rate,
+// essentially one per packet" — maps to train events here; NetFlow records
+// real packet counts so PROFILE weights stay in packet units.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "des/kernel.hpp"
+#include "topology/network.hpp"
+
+namespace massf::emu {
+
+using des::SimTime;
+using topology::LinkId;
+using topology::NodeId;
+
+enum class PacketKind : std::uint8_t {
+  Data,             // application / background traffic
+  IcmpEcho,         // traceroute probe (TTL-limited)
+  IcmpEchoReply,    // probe reached its destination
+  IcmpTtlExceeded,  // router report: TTL expired here
+};
+
+/// One packet train traversing the virtual network.
+struct Packet {
+  NodeId src = -1;
+  NodeId dst = -1;
+  double bytes = 0;      // total bytes in the train
+  int packets = 1;       // real packets represented
+  int ttl = 255;         // hop budget (ICMP traceroute uses small values)
+  PacketKind kind = PacketKind::Data;
+  std::uint64_t flow = 0;     // NetFlow aggregation key
+  std::uint64_t probe_id = 0;  // traceroute correlation (ICMP kinds)
+  NodeId reporter = -1;        // for IcmpTtlExceeded: the reporting router
+  /// Set on the last train of an application message: invoked at the
+  /// destination when the train is delivered.
+  std::function<void(SimTime)> on_delivered;
+};
+
+}  // namespace massf::emu

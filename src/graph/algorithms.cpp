@@ -1,0 +1,160 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace massf::graph {
+
+std::vector<VertexId> ShortestPaths::path_to(VertexId v) const {
+  if (!reachable(v)) return {};
+  std::vector<VertexId> path;
+  for (VertexId cur = v; cur != -1;
+       cur = parent[static_cast<std::size_t>(cur)])
+    path.push_back(cur);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPaths dijkstra(const Graph& graph, VertexId source,
+                       const std::vector<double>& arc_length) {
+  const auto n = static_cast<std::size_t>(graph.vertex_count());
+  MASSF_REQUIRE(source >= 0 && static_cast<std::size_t>(source) < n,
+                "dijkstra source out of range");
+  MASSF_REQUIRE(arc_length.size() ==
+                    static_cast<std::size_t>(graph.arc_count()),
+                "arc_length must have one entry per arc");
+
+  ShortestPaths result;
+  result.distance.assign(n, ShortestPaths::infinity());
+  result.parent.assign(n, -1);
+
+  using Item = std::pair<double, VertexId>;  // (distance, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  result.distance[static_cast<std::size_t>(source)] = 0;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [dist, u] = heap.top();
+    heap.pop();
+    if (dist > result.distance[static_cast<std::size_t>(u)]) continue;
+    for (ArcIndex a = graph.arc_begin(u); a != graph.arc_end(u); ++a) {
+      const double len = arc_length[static_cast<std::size_t>(a)];
+      MASSF_REQUIRE(len >= 0, "dijkstra requires non-negative arc lengths");
+      const VertexId v = graph.arc_target(a);
+      const double candidate = dist + len;
+      if (candidate < result.distance[static_cast<std::size_t>(v)]) {
+        result.distance[static_cast<std::size_t>(v)] = candidate;
+        result.parent[static_cast<std::size_t>(v)] = u;
+        heap.emplace(candidate, v);
+      }
+    }
+  }
+  return result;
+}
+
+ShortestPaths dijkstra(const Graph& graph, VertexId source) {
+  return dijkstra(graph, source, graph.adjwgt());
+}
+
+std::vector<VertexId> bfs_order(const Graph& graph, VertexId source) {
+  const auto n = static_cast<std::size_t>(graph.vertex_count());
+  MASSF_REQUIRE(source >= 0 && static_cast<std::size_t>(source) < n,
+                "bfs source out of range");
+  std::vector<bool> seen(n, false);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::queue<VertexId> queue;
+  queue.push(source);
+  seen[static_cast<std::size_t>(source)] = true;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop();
+    order.push_back(u);
+    for (VertexId v : graph.neighbors(u)) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        queue.push(v);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<int> bfs_distance(const Graph& graph, VertexId source) {
+  const auto n = static_cast<std::size_t>(graph.vertex_count());
+  MASSF_REQUIRE(source >= 0 && static_cast<std::size_t>(source) < n,
+                "bfs source out of range");
+  std::vector<int> dist(n, -1);
+  std::queue<VertexId> queue;
+  dist[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop();
+    for (VertexId v : graph.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(v)] < 0) {
+        dist[static_cast<std::size_t>(v)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+int connected_components(const Graph& graph, std::vector<int>& component) {
+  const auto n = static_cast<std::size_t>(graph.vertex_count());
+  component.assign(n, -1);
+  int count = 0;
+  std::queue<VertexId> queue;
+  for (VertexId s = 0; static_cast<std::size_t>(s) < n; ++s) {
+    if (component[static_cast<std::size_t>(s)] >= 0) continue;
+    component[static_cast<std::size_t>(s)] = count;
+    queue.push(s);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop();
+      for (VertexId v : graph.neighbors(u)) {
+        if (component[static_cast<std::size_t>(v)] < 0) {
+          component[static_cast<std::size_t>(v)] = count;
+          queue.push(v);
+        }
+      }
+    }
+    ++count;
+  }
+  return count;
+}
+
+Graph induced_subgraph(const Graph& graph,
+                       const std::vector<VertexId>& vertices) {
+  const auto n = static_cast<std::size_t>(graph.vertex_count());
+  std::vector<VertexId> old_to_new(n, -1);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    MASSF_REQUIRE(v >= 0 && static_cast<std::size_t>(v) < n,
+                  "subgraph vertex out of range");
+    MASSF_REQUIRE(old_to_new[static_cast<std::size_t>(v)] == -1,
+                  "duplicate vertex " << v << " in subgraph selection");
+    old_to_new[static_cast<std::size_t>(v)] = static_cast<VertexId>(i);
+  }
+  GraphBuilder builder(graph.constraint_count());
+  for (VertexId v : vertices) builder.add_vertex(graph.vertex_weights(v));
+  for (VertexId v : vertices) {
+    const VertexId nv = old_to_new[static_cast<std::size_t>(v)];
+    for (ArcIndex a = graph.arc_begin(v); a != graph.arc_end(v); ++a) {
+      const VertexId t = graph.arc_target(a);
+      const VertexId nt = old_to_new[static_cast<std::size_t>(t)];
+      if (nt >= 0 && nv < nt) builder.add_edge(nv, nt, graph.arc_weight(a));
+    }
+  }
+  return builder.build();
+}
+
+bool is_connected(const Graph& graph) {
+  if (graph.vertex_count() == 0) return true;
+  std::vector<int> component;
+  return connected_components(graph, component) == 1;
+}
+
+}  // namespace massf::graph

@@ -1,0 +1,62 @@
+// Classic traversal and shortest-path algorithms on massf::graph::Graph.
+//
+// Used by: routing-table construction (Dijkstra over link latency), the
+// BFS-hierarchical baseline partitioner, connectivity validation of
+// generated topologies, and the greedy k-cluster baseline.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace massf::graph {
+
+/// Result of a single-source shortest-path computation.
+struct ShortestPaths {
+  /// distance[v] = shortest distance from the source; infinity() if
+  /// unreachable.
+  std::vector<double> distance;
+  /// parent[v] = predecessor of v on one shortest path; -1 for the source
+  /// and unreachable vertices.
+  std::vector<VertexId> parent;
+
+  static constexpr double infinity() {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  bool reachable(VertexId v) const {
+    return distance[static_cast<std::size_t>(v)] < infinity();
+  }
+
+  /// Reconstruct the path source → v (inclusive). Empty if unreachable.
+  std::vector<VertexId> path_to(VertexId v) const;
+};
+
+/// Dijkstra with per-arc lengths. `arc_length` must have graph.arc_count()
+/// entries, all non-negative; pass graph.adjwgt() to use the stored weights.
+ShortestPaths dijkstra(const Graph& graph, VertexId source,
+                       const std::vector<double>& arc_length);
+
+/// Dijkstra using each arc's stored weight as its length.
+ShortestPaths dijkstra(const Graph& graph, VertexId source);
+
+/// BFS order from `source` (only vertices in source's component).
+std::vector<VertexId> bfs_order(const Graph& graph, VertexId source);
+
+/// Hop distance from `source` to every vertex (-1 if unreachable).
+std::vector<int> bfs_distance(const Graph& graph, VertexId source);
+
+/// component[v] = dense component id in [0, count); returns component count.
+int connected_components(const Graph& graph, std::vector<int>& component);
+
+/// Induced subgraph over `vertices` (must be distinct, in-range ids).
+/// Vertex i of the result corresponds to vertices[i]; vertex weights and
+/// edge weights are copied; edges leaving the vertex set are dropped.
+Graph induced_subgraph(const Graph& graph,
+                       const std::vector<VertexId>& vertices);
+
+/// True if the graph has exactly one connected component (or is empty).
+bool is_connected(const Graph& graph);
+
+}  // namespace massf::graph

@@ -1,0 +1,143 @@
+#include "graph/graph_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace massf::graph {
+
+namespace {
+
+long long as_metis_weight(double w) {
+  return std::max(1LL, static_cast<long long>(std::llround(w)));
+}
+
+}  // namespace
+
+std::string write_metis(const Graph& graph) {
+  std::ostringstream os;
+  os << graph.vertex_count() << ' ' << graph.edge_count() << " 011 "
+     << graph.constraint_count() << '\n';
+  for (VertexId v = 0; v < graph.vertex_count(); ++v) {
+    bool first = true;
+    for (double w : graph.vertex_weights(v)) {
+      if (!first) os << ' ';
+      os << as_metis_weight(w);
+      first = false;
+    }
+    for (ArcIndex a = graph.arc_begin(v); a != graph.arc_end(v); ++a) {
+      // METIS vertex ids are 1-based.
+      os << ' ' << graph.arc_target(a) + 1 << ' '
+         << as_metis_weight(graph.arc_weight(a));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Graph read_metis(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  int line_number = 0;
+
+  auto next_content_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++line_number;
+      const std::string trimmed = trim(line);
+      if (!trimmed.empty() && trimmed[0] != '%') return true;
+    }
+    return false;
+  };
+
+  MASSF_REQUIRE(next_content_line(), "empty METIS file");
+  const auto header = split_whitespace(line);
+  MASSF_REQUIRE(header.size() >= 2 && header.size() <= 4,
+                "METIS header line " << line_number << " malformed");
+  const auto n = static_cast<VertexId>(parse_int(header[0]));
+  const auto m = parse_int(header[1]);
+  const std::string fmt = header.size() >= 3 ? header[2] : "000";
+  const int ncon =
+      header.size() >= 4 ? static_cast<int>(parse_int(header[3])) : 1;
+  const bool has_vertex_weights = fmt.size() >= 2 && fmt[1] == '1';
+  const bool has_edge_weights = fmt.size() >= 3 && fmt[2] == '1';
+  MASSF_REQUIRE(fmt == "000" || fmt == "001" || fmt == "011" || fmt == "010",
+                "unsupported METIS fmt '" << fmt << "'");
+
+  GraphBuilder builder(ncon);
+  for (VertexId v = 0; v < n; ++v) builder.add_vertex();
+
+  for (VertexId v = 0; v < n; ++v) {
+    MASSF_REQUIRE(next_content_line(),
+                  "METIS file ends before vertex " << v + 1);
+    const auto tokens = split_whitespace(line);
+    std::size_t pos = 0;
+    if (has_vertex_weights) {
+      std::vector<double> weights;
+      for (int c = 0; c < ncon; ++c) {
+        MASSF_REQUIRE(pos < tokens.size(),
+                      "line " << line_number << ": missing vertex weight");
+        weights.push_back(parse_double(tokens[pos++]));
+      }
+      builder.set_vertex_weights(v, weights);
+    }
+    while (pos < tokens.size()) {
+      const auto target = static_cast<VertexId>(parse_int(tokens[pos++]) - 1);
+      double weight = 1.0;
+      if (has_edge_weights) {
+        MASSF_REQUIRE(pos < tokens.size(),
+                      "line " << line_number << ": missing edge weight");
+        weight = parse_double(tokens[pos++]);
+      }
+      MASSF_REQUIRE(target >= 0 && target < n,
+                    "line " << line_number << ": neighbor out of range");
+      // Each undirected edge appears twice; add it once (from the smaller
+      // endpoint) to avoid doubling weights in the builder's merge.
+      if (v < target) builder.add_edge(v, target, weight);
+    }
+  }
+  Graph graph = builder.build();
+  MASSF_REQUIRE(graph.edge_count() == m,
+                "METIS header declares " << m << " edges but file has "
+                                         << graph.edge_count());
+  return graph;
+}
+
+std::string write_dot(const Graph& graph,
+                      const std::vector<int>* assignment) {
+  static const char* kPalette[] = {
+      "#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3", "#a6d854", "#ffd92f",
+      "#e5c494", "#b3b3b3", "#1b9e77", "#d95f02", "#7570b3", "#e7298a"};
+  constexpr std::size_t kColors = sizeof(kPalette) / sizeof(kPalette[0]);
+
+  if (assignment != nullptr) {
+    MASSF_REQUIRE(assignment->size() ==
+                      static_cast<std::size_t>(graph.vertex_count()),
+                  "assignment must cover every vertex");
+    for (int block : *assignment)
+      MASSF_REQUIRE(block >= 0, "block ids must be non-negative");
+  }
+
+  std::ostringstream os;
+  os << "graph massf {\n  node [style=filled];\n";
+  for (VertexId v = 0; v < graph.vertex_count(); ++v) {
+    os << "  n" << v;
+    if (assignment != nullptr) {
+      const auto block =
+          static_cast<std::size_t>((*assignment)[static_cast<std::size_t>(v)]);
+      os << " [fillcolor=\"" << kPalette[block % kColors] << "\" label=\"" << v
+         << "/" << block << "\"]";
+    }
+    os << ";\n";
+  }
+  for (VertexId u = 0; u < graph.vertex_count(); ++u)
+    for (ArcIndex a = graph.arc_begin(u); a != graph.arc_end(u); ++a) {
+      const VertexId v = graph.arc_target(a);
+      if (u < v) os << "  n" << u << " -- n" << v << ";\n";
+    }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace massf::graph

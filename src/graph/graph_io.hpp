@@ -1,0 +1,28 @@
+// Graph serialization: the METIS text format (interoperates with external
+// partitioning tools) and Graphviz DOT export (visual inspection of
+// networks and partitions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace massf::graph {
+
+/// Serialize in METIS graph-file format. Header: "n m fmt ncon" with
+/// fmt=011 (vertex + edge weights). Weights are written as integers
+/// (rounded, minimum 1) because the METIS format requires them.
+std::string write_metis(const Graph& graph);
+
+/// Parse a METIS graph file (the subset written by write_metis: fmt 011,
+/// or plain "n m" unweighted headers). Throws std::invalid_argument with a
+/// line number on malformed input.
+Graph read_metis(const std::string& text);
+
+/// Graphviz DOT export. If `assignment` is non-null (one block id per
+/// vertex), vertices are colored by block (12 distinct colors, cycling).
+std::string write_dot(const Graph& graph,
+                      const std::vector<int>* assignment = nullptr);
+
+}  // namespace massf::graph

@@ -1,0 +1,121 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace massf::graph {
+
+FlowNetwork::FlowNetwork(int vertex_count) : head_(vertex_count, -1) {
+  MASSF_REQUIRE(vertex_count >= 0, "vertex count must be non-negative");
+}
+
+int FlowNetwork::add_arc(int u, int v, double capacity) {
+  MASSF_REQUIRE(u >= 0 && u < vertex_count(), "arc source out of range");
+  MASSF_REQUIRE(v >= 0 && v < vertex_count(), "arc target out of range");
+  MASSF_REQUIRE(capacity >= 0, "capacity must be non-negative");
+  MASSF_REQUIRE(!solved_, "cannot add arcs after max_flow()");
+  const int forward = static_cast<int>(arcs_.size());
+  arcs_.push_back({v, head_[static_cast<std::size_t>(u)], capacity, capacity});
+  head_[static_cast<std::size_t>(u)] = forward;
+  arcs_.push_back({u, head_[static_cast<std::size_t>(v)], 0.0, 0.0});
+  head_[static_cast<std::size_t>(v)] = forward + 1;
+  return forward;
+}
+
+bool FlowNetwork::build_levels(int source, int sink) {
+  level_.assign(head_.size(), -1);
+  std::queue<int> queue;
+  level_[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    for (int a = head_[static_cast<std::size_t>(u)]; a != -1;
+         a = arcs_[static_cast<std::size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.capacity > 0 && level_[static_cast<std::size_t>(arc.to)] < 0) {
+        level_[static_cast<std::size_t>(arc.to)] =
+            level_[static_cast<std::size_t>(u)] + 1;
+        queue.push(arc.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+double FlowNetwork::push(int u, int sink, double limit) {
+  if (u == sink || limit <= 0) return limit;
+  double pushed = 0;
+  for (int& a = iter_[static_cast<std::size_t>(u)]; a != -1;
+       a = arcs_[static_cast<std::size_t>(a)].next) {
+    Arc& arc = arcs_[static_cast<std::size_t>(a)];
+    if (arc.capacity <= 0 ||
+        level_[static_cast<std::size_t>(arc.to)] !=
+            level_[static_cast<std::size_t>(u)] + 1)
+      continue;
+    const double sent =
+        push(arc.to, sink, std::min(limit - pushed, arc.capacity));
+    if (sent > 0) {
+      arc.capacity -= sent;
+      arcs_[static_cast<std::size_t>(a ^ 1)].capacity += sent;
+      pushed += sent;
+      if (pushed >= limit) break;
+    }
+  }
+  return pushed;
+}
+
+double FlowNetwork::max_flow(int source, int sink) {
+  MASSF_REQUIRE(source >= 0 && source < vertex_count(),
+                "flow source out of range");
+  MASSF_REQUIRE(sink >= 0 && sink < vertex_count(), "flow sink out of range");
+  MASSF_REQUIRE(source != sink, "source and sink must differ");
+  MASSF_REQUIRE(!solved_, "max_flow() may only be called once");
+  solved_ = true;
+  source_ = source;
+
+  double total = 0;
+  while (build_levels(source, sink)) {
+    iter_ = head_;
+    double sent;
+    while ((sent = push(source, sink,
+                        std::numeric_limits<double>::infinity())) > 0)
+      total += sent;
+  }
+  return total;
+}
+
+double FlowNetwork::flow_on(int arc_handle) const {
+  MASSF_REQUIRE(arc_handle >= 0 &&
+                    static_cast<std::size_t>(arc_handle) < arcs_.size() &&
+                    arc_handle % 2 == 0,
+                "invalid arc handle");
+  const Arc& arc = arcs_[static_cast<std::size_t>(arc_handle)];
+  return arc.original - arc.capacity;
+}
+
+std::vector<bool> FlowNetwork::min_cut_source_side() const {
+  MASSF_REQUIRE(solved_, "call max_flow() first");
+  std::vector<bool> side(head_.size(), false);
+  std::queue<int> queue;
+  side[static_cast<std::size_t>(source_)] = true;
+  queue.push(source_);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    for (int a = head_[static_cast<std::size_t>(u)]; a != -1;
+         a = arcs_[static_cast<std::size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.capacity > 1e-12 && !side[static_cast<std::size_t>(arc.to)]) {
+        side[static_cast<std::size_t>(arc.to)] = true;
+        queue.push(arc.to);
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace massf::graph

@@ -1,0 +1,60 @@
+// Dinic max-flow on a small directed flow network.
+//
+// The paper defines a router's computation weight as "the maximal
+// bipartition flow of all traffic flowing through a network node" (§2.2.2):
+// split the node's incident links into two sides every possible way and take
+// the largest traffic volume that can cross the node. mapping::weights uses
+// this solver to evaluate that quantity exactly on each node's local star
+// network; it is also generally useful and fully unit-tested.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace massf::graph {
+
+/// Directed flow network with residual arcs; capacities are doubles.
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(int vertex_count);
+
+  int vertex_count() const { return static_cast<int>(head_.size()); }
+
+  /// Add a directed arc u→v with the given capacity (>= 0). Returns an arc
+  /// handle usable with flow_on(). A residual arc v→u with capacity 0 is
+  /// added automatically.
+  int add_arc(int u, int v, double capacity);
+
+  /// Compute the maximum flow from source to sink (Dinic, O(V^2 E)).
+  /// May be called once per network instance.
+  double max_flow(int source, int sink);
+
+  /// Flow pushed through the arc returned by add_arc (valid after
+  /// max_flow()).
+  double flow_on(int arc_handle) const;
+
+  /// After max_flow(), returns the source side of a minimum cut:
+  /// in_source_side[v] is true iff v is reachable from the source in the
+  /// residual network.
+  std::vector<bool> min_cut_source_side() const;
+
+ private:
+  struct Arc {
+    int to;
+    int next;          // next arc index in `to`'s... actually in from's list
+    double capacity;   // remaining capacity
+    double original;   // capacity as added
+  };
+
+  bool build_levels(int source, int sink);
+  double push(int u, int sink, double limit);
+
+  std::vector<int> head_;   // head of each vertex's arc list (-1 = none)
+  std::vector<Arc> arcs_;   // arc i and i^1 are mutual residuals
+  std::vector<int> level_;
+  std::vector<int> iter_;
+  int source_ = -1;
+  bool solved_ = false;
+};
+
+}  // namespace massf::graph

@@ -1,0 +1,177 @@
+#include "partition/baselines.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "graph/algorithms.hpp"
+#include "util/rng.hpp"
+
+namespace massf::partition {
+
+using graph::ArcIndex;
+using graph::Graph;
+using graph::VertexId;
+
+Assignment partition_random(const Graph& graph, int parts,
+                            std::uint64_t seed) {
+  MASSF_REQUIRE(parts >= 1, "parts must be >= 1");
+  MASSF_REQUIRE(graph.vertex_count() >= parts,
+                "fewer vertices than blocks");
+  Rng rng(seed);
+  const auto n = static_cast<std::size_t>(graph.vertex_count());
+  Assignment assignment(n);
+  for (std::size_t v = 0; v < n; ++v)
+    assignment[v] = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(parts)));
+  // Ensure no block is empty: claim one random distinct vertex per block.
+  std::vector<VertexId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  rng.shuffle(ids);
+  for (int p = 0; p < parts; ++p)
+    assignment[static_cast<std::size_t>(ids[static_cast<std::size_t>(p)])] = p;
+  return assignment;
+}
+
+namespace {
+
+/// Approximate pseudo-peripheral vertex: run BFS twice from a random start
+/// and take the farthest vertex.
+VertexId pseudo_peripheral(const Graph& graph, Rng& rng) {
+  const VertexId n = graph.vertex_count();
+  VertexId start = static_cast<VertexId>(
+      rng.next_below(static_cast<std::uint64_t>(n)));
+  for (int round = 0; round < 2; ++round) {
+    const std::vector<int> dist = graph::bfs_distance(graph, start);
+    VertexId farthest = start;
+    int best = -1;
+    for (VertexId v = 0; v < n; ++v)
+      if (dist[static_cast<std::size_t>(v)] > best) {
+        best = dist[static_cast<std::size_t>(v)];
+        farthest = v;
+      }
+    start = farthest;
+  }
+  return start;
+}
+
+}  // namespace
+
+Assignment partition_bfs_hierarchical(const Graph& graph, int parts,
+                                      std::uint64_t seed) {
+  MASSF_REQUIRE(parts >= 1, "parts must be >= 1");
+  MASSF_REQUIRE(graph.vertex_count() >= parts, "fewer vertices than blocks");
+  Rng rng(seed);
+  const VertexId n = graph.vertex_count();
+
+  // Global visit order: BFS from a pseudo-peripheral vertex, then any
+  // remaining components in id order.
+  std::vector<VertexId> order = graph::bfs_order(graph, pseudo_peripheral(graph, rng));
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  for (VertexId v : order) seen[static_cast<std::size_t>(v)] = 1;
+  for (VertexId v = 0; v < n; ++v) {
+    if (seen[static_cast<std::size_t>(v)]) continue;
+    for (VertexId u : graph::bfs_order(graph, v)) {
+      if (!seen[static_cast<std::size_t>(u)]) {
+        seen[static_cast<std::size_t>(u)] = 1;
+        order.push_back(u);
+      }
+    }
+  }
+
+  const double total = std::max(graph.total_vertex_weight(0), 1e-12);
+  const double per_block = total / parts;
+  Assignment assignment(static_cast<std::size_t>(n), parts - 1);
+  int block = 0;
+  double accumulated = 0;
+  std::size_t position = 0;
+  for (VertexId v : order) {
+    // Leave enough vertices for the remaining blocks.
+    const std::size_t remaining_vertices = order.size() - position;
+    const std::size_t remaining_blocks =
+        static_cast<std::size_t>(parts - block);
+    if (block < parts - 1 && accumulated >= per_block &&
+        remaining_vertices > remaining_blocks - 1) {
+      ++block;
+      accumulated = 0;
+    }
+    assignment[static_cast<std::size_t>(v)] = block;
+    accumulated += graph.vertex_weight(v, 0);
+    ++position;
+    // Hard stop: if only as many vertices remain as blocks, advance every
+    // step so no block ends up empty.
+    if (static_cast<std::size_t>(parts - 1 - block) >= order.size() - position &&
+        block < parts - 1)
+      ++block, accumulated = 0;
+  }
+  validate_assignment(graph, assignment, parts);
+  return assignment;
+}
+
+Assignment partition_greedy_kcluster(const Graph& graph, int parts,
+                                     std::uint64_t seed) {
+  MASSF_REQUIRE(parts >= 1, "parts must be >= 1");
+  MASSF_REQUIRE(graph.vertex_count() >= parts, "fewer vertices than blocks");
+  Rng rng(seed);
+  const VertexId n = graph.vertex_count();
+  Assignment assignment(static_cast<std::size_t>(n), -1);
+
+  // Distinct random seeds.
+  std::vector<VertexId> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  rng.shuffle(ids);
+  // Per-cluster frontier: max-heap of (edge weight, target vertex).
+  using Item = std::pair<double, VertexId>;
+  std::vector<std::priority_queue<Item>> frontier(
+      static_cast<std::size_t>(parts));
+
+  auto claim = [&](int cluster, VertexId v) {
+    assignment[static_cast<std::size_t>(v)] = cluster;
+    for (ArcIndex a = graph.arc_begin(v); a != graph.arc_end(v); ++a) {
+      const VertexId t = graph.arc_target(a);
+      if (assignment[static_cast<std::size_t>(t)] < 0)
+        frontier[static_cast<std::size_t>(cluster)].emplace(
+            graph.arc_weight(a), t);
+    }
+  };
+
+  for (int p = 0; p < parts; ++p)
+    claim(p, ids[static_cast<std::size_t>(p)]);
+
+  // Round-robin growth.
+  VertexId assigned = static_cast<VertexId>(parts);
+  while (assigned < n) {
+    bool any_progress = false;
+    for (int p = 0; p < parts && assigned < n; ++p) {
+      auto& heap = frontier[static_cast<std::size_t>(p)];
+      while (!heap.empty() &&
+             assignment[static_cast<std::size_t>(heap.top().second)] >= 0)
+        heap.pop();
+      if (heap.empty()) continue;
+      const VertexId v = heap.top().second;
+      heap.pop();
+      claim(p, v);
+      ++assigned;
+      any_progress = true;
+    }
+    if (!any_progress) break;  // all frontiers exhausted (disconnected)
+  }
+
+  // Disconnected leftovers join the cluster with the least vertices.
+  if (assigned < n) {
+    std::vector<int> counts(static_cast<std::size_t>(parts), 0);
+    for (int p : assignment)
+      if (p >= 0) ++counts[static_cast<std::size_t>(p)];
+    for (VertexId v = 0; v < n; ++v) {
+      if (assignment[static_cast<std::size_t>(v)] >= 0) continue;
+      const auto lightest = static_cast<int>(
+          std::min_element(counts.begin(), counts.end()) - counts.begin());
+      assignment[static_cast<std::size_t>(v)] = lightest;
+      ++counts[static_cast<std::size_t>(lightest)];
+    }
+  }
+  validate_assignment(graph, assignment, parts);
+  return assignment;
+}
+
+}  // namespace massf::partition

@@ -1,0 +1,90 @@
+#include "partition/coarsen.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace massf::partition {
+
+using graph::ArcIndex;
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+CoarseGraph coarsen_once(const Graph& graph, Rng& rng) {
+  const VertexId n = graph.vertex_count();
+  constexpr VertexId kUnmatched = -1;
+  std::vector<VertexId> match(static_cast<std::size_t>(n), kUnmatched);
+
+  std::vector<VertexId> visit_order(static_cast<std::size_t>(n));
+  std::iota(visit_order.begin(), visit_order.end(), 0);
+  rng.shuffle(visit_order);
+
+  // Heavy-edge matching.
+  for (VertexId u : visit_order) {
+    if (match[static_cast<std::size_t>(u)] != kUnmatched) continue;
+    VertexId best = kUnmatched;
+    double best_weight = -1;
+    for (ArcIndex a = graph.arc_begin(u); a != graph.arc_end(u); ++a) {
+      const VertexId v = graph.arc_target(a);
+      if (v == u || match[static_cast<std::size_t>(v)] != kUnmatched) continue;
+      if (graph.arc_weight(a) > best_weight) {
+        best_weight = graph.arc_weight(a);
+        best = v;
+      }
+    }
+    if (best != kUnmatched) {
+      match[static_cast<std::size_t>(u)] = best;
+      match[static_cast<std::size_t>(best)] = u;
+    } else {
+      match[static_cast<std::size_t>(u)] = u;  // stays a singleton
+    }
+  }
+
+  // Number coarse vertices: the smaller endpoint of each matched pair (or
+  // the singleton itself) owns the coarse id, assigned in fine-id order so
+  // the result is independent of the visit order above.
+  std::vector<VertexId> fine_to_coarse(static_cast<std::size_t>(n), -1);
+  VertexId coarse_count = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId mate = match[static_cast<std::size_t>(v)];
+    if (mate >= v) fine_to_coarse[static_cast<std::size_t>(v)] = coarse_count++;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId mate = match[static_cast<std::size_t>(v)];
+    if (mate < v)
+      fine_to_coarse[static_cast<std::size_t>(v)] =
+          fine_to_coarse[static_cast<std::size_t>(mate)];
+  }
+
+  // Contract.
+  const int ncon = graph.constraint_count();
+  GraphBuilder builder(ncon);
+  std::vector<std::vector<double>> coarse_weights(
+      static_cast<std::size_t>(coarse_count),
+      std::vector<double>(static_cast<std::size_t>(ncon), 0.0));
+  for (VertexId v = 0; v < n; ++v) {
+    auto& w = coarse_weights[static_cast<std::size_t>(
+        fine_to_coarse[static_cast<std::size_t>(v)])];
+    const auto vw = graph.vertex_weights(v);
+    for (int c = 0; c < ncon; ++c)
+      w[static_cast<std::size_t>(c)] += vw[static_cast<std::size_t>(c)];
+  }
+  for (VertexId cv = 0; cv < coarse_count; ++cv)
+    builder.add_vertex(coarse_weights[static_cast<std::size_t>(cv)]);
+
+  // Emit each fine edge once from its smaller endpoint; GraphBuilder merges
+  // the resulting parallel coarse edges by summing weights.
+  for (VertexId u = 0; u < n; ++u) {
+    for (ArcIndex a = graph.arc_begin(u); a != graph.arc_end(u); ++a) {
+      const VertexId v = graph.arc_target(a);
+      if (u >= v) continue;
+      const VertexId cu = fine_to_coarse[static_cast<std::size_t>(u)];
+      const VertexId cv = fine_to_coarse[static_cast<std::size_t>(v)];
+      if (cu != cv) builder.add_edge(cu, cv, graph.arc_weight(a));
+    }
+  }
+
+  return {builder.build(), std::move(fine_to_coarse)};
+}
+
+}  // namespace massf::partition

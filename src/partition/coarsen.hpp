@@ -1,0 +1,24 @@
+// Graph coarsening by heavy-edge matching (the first multilevel phase).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace massf::partition {
+
+/// One coarsening step: the contracted graph plus the projection map.
+struct CoarseGraph {
+  graph::Graph graph;
+  /// fine_to_coarse[v] = coarse vertex that fine vertex v collapsed into.
+  std::vector<graph::VertexId> fine_to_coarse;
+};
+
+/// Contract a maximal matching computed by the heavy-edge heuristic:
+/// vertices are visited in random order and matched to the unmatched
+/// neighbor connected by the heaviest edge. Vertex weights are summed
+/// component-wise; parallel coarse edges are merged by summing weights.
+CoarseGraph coarsen_once(const graph::Graph& graph, Rng& rng);
+
+}  // namespace massf::partition

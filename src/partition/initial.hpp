@@ -1,0 +1,20 @@
+// Initial partitioning of the coarsest graph.
+//
+// Recursive bisection: each bisection is greedy graph growing (GGGP) from
+// several random seeds, keeping the best (cut, balance) candidate, followed
+// by 2-way greedy refinement. Non-power-of-two block counts are handled by
+// splitting k into floor(k/2)/ceil(k/2) with proportional weight targets.
+#pragma once
+
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace massf::partition {
+
+/// Partition `graph` into options.parts blocks from scratch (no multilevel).
+/// Suitable for small graphs; the multilevel driver calls this at the
+/// coarsest level.
+Assignment initial_partition(const graph::Graph& graph,
+                             const PartitionOptions& options, Rng& rng);
+
+}  // namespace massf::partition

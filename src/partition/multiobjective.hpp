@@ -1,0 +1,62 @@
+// Multi-objective edge-weight combination (paper §2.3).
+//
+// The network mapping problem has two opposing edge objectives: maximize
+// cross-partition link *latency* (bigger conservative-sync lookahead) and
+// minimize cross-partition *traffic* (fewer remote simulation events).
+// Following Schloegel, Karypis & Kumar (Euro-Par'99) as adopted by the
+// paper, each objective is first partitioned alone to obtain its optimal
+// cut C_i, then the per-edge weights are combined as
+//
+//   w_combined(e) = p * w_latency(e)/C_latency
+//                 + (1-p) * w_traffic(e)/C_traffic
+//
+// and the single-objective partitioner runs once more on the combined
+// weights. p is the user-controllable latency priority (paper default 0.6,
+// the "6:4 latency/traffic priority ratio").
+//
+// Latency enters as a *cut-minimization* weight: cutting a low-latency link
+// must be expensive, so w_latency(e) is a decreasing function of the link
+// latency (we use max_latency / latency, the standard reciprocal trick the
+// DaSSF/MaSSF lineage applies).
+#pragma once
+
+#include <vector>
+
+#include "partition/partition.hpp"
+
+namespace massf::partition {
+
+/// Inputs to the multi-objective combination: two parallel per-arc weight
+/// arrays over the same graph structure.
+struct ObjectiveWeights {
+  /// Cut-cost for the latency objective (higher = worse to cut).
+  std::vector<double> latency;
+  /// Cut-cost for the traffic objective (estimated events on the link).
+  std::vector<double> traffic;
+};
+
+/// Result of the multi-objective partition, including the per-objective
+/// optimal cuts used for normalization (useful for reporting/ablation).
+struct MultiObjectiveResult {
+  PartitionResult partition;
+  double latency_cut = 0;   // C_latency: cut of the latency-only partition
+  double traffic_cut = 0;   // C_traffic: cut of the traffic-only partition
+};
+
+/// Run the paper's §2.3 algorithm: two single-objective partitions to learn
+/// C_latency and C_traffic, then a final partition on the normalized
+/// combination with latency priority `p` in [0,1]. If one objective is
+/// degenerate (all-zero weights or zero optimal cut), the other is used
+/// alone. Multi-constraint vertex weights pass through unchanged.
+MultiObjectiveResult partition_multiobjective(const graph::Graph& graph,
+                                              const ObjectiveWeights& weights,
+                                              double latency_priority,
+                                              const PartitionOptions& options);
+
+/// Just the combined per-arc weights (exposed for tests/ablation): given
+/// the two weight arrays and the two normalization cuts.
+std::vector<double> combine_objectives(const ObjectiveWeights& weights,
+                                       double latency_cut, double traffic_cut,
+                                       double latency_priority);
+
+}  // namespace massf::partition

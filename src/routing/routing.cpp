@@ -1,0 +1,177 @@
+#include "routing/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "graph/algorithms.hpp"
+#include "util/error.hpp"
+
+namespace massf::routing {
+
+std::size_t RoutingTables::index(NodeId src, NodeId dst) const {
+  MASSF_REQUIRE(src >= 0 && src < n_, "source out of range");
+  MASSF_REQUIRE(dst >= 0 && dst < n_, "destination out of range");
+  return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+         static_cast<std::size_t>(dst);
+}
+
+RoutingTables RoutingTables::build(const Network& network) {
+  const NodeId n = network.node_count();
+  MASSF_REQUIRE(n > 0, "cannot route an empty network");
+
+  // Build a graph whose arc weights are link latencies, remembering which
+  // link each arc came from. GraphBuilder merges parallel edges, which
+  // would lose link identity — so route over an explicit adjacency list
+  // instead of graph::Graph.
+  struct Adj {
+    NodeId to;
+    LinkId link;
+    double latency;
+  };
+  std::vector<std::vector<Adj>> adjacency(static_cast<std::size_t>(n));
+  for (LinkId l = 0; l < network.link_count(); ++l) {
+    const topology::Link& link = network.link(l);
+    adjacency[static_cast<std::size_t>(link.a)].push_back(
+        {link.b, l, link.latency_s});
+    adjacency[static_cast<std::size_t>(link.b)].push_back(
+        {link.a, l, link.latency_s});
+  }
+
+  RoutingTables tables(n);
+  tables.next_hop_.assign(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n), -1);
+  tables.next_link_.assign(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n), -1);
+
+  // Dijkstra from every source. Tie-break deterministically on (distance,
+  // node id) so equal-cost multipath resolves identically across runs.
+  std::vector<double> dist(static_cast<std::size_t>(n));
+  std::vector<NodeId> parent(static_cast<std::size_t>(n));
+  std::vector<LinkId> parent_link(static_cast<std::size_t>(n));
+  std::vector<char> done(static_cast<std::size_t>(n));
+
+  for (NodeId src = 0; src < n; ++src) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(parent.begin(), parent.end(), -1);
+    std::fill(parent_link.begin(), parent_link.end(), -1);
+    std::fill(done.begin(), done.end(), 0);
+
+    using Item = std::pair<double, NodeId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    dist[static_cast<std::size_t>(src)] = 0;
+    heap.emplace(0.0, src);
+    std::vector<NodeId> settle_order;
+    settle_order.reserve(static_cast<std::size_t>(n));
+
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (done[static_cast<std::size_t>(u)]) continue;
+      done[static_cast<std::size_t>(u)] = 1;
+      settle_order.push_back(u);
+      for (const Adj& e : adjacency[static_cast<std::size_t>(u)]) {
+        const double cand = d + e.latency;
+        double& best = dist[static_cast<std::size_t>(e.to)];
+        // Strict improvement, or equal cost with a lower-id parent: a total
+        // deterministic order independent of heap pop order.
+        const bool improves =
+            cand < best ||
+            (cand == best && parent[static_cast<std::size_t>(e.to)] >= 0 &&
+             u < parent[static_cast<std::size_t>(e.to)]);
+        if (improves && !done[static_cast<std::size_t>(e.to)]) {
+          best = cand;
+          parent[static_cast<std::size_t>(e.to)] = u;
+          parent_link[static_cast<std::size_t>(e.to)] = e.link;
+          heap.emplace(cand, e.to);
+        }
+      }
+    }
+    MASSF_REQUIRE(settle_order.size() == static_cast<std::size_t>(n),
+                  "network is not connected; node unreachable from "
+                      << network.node(src).name);
+
+    // Propagate first hops in settle order: parent settles before child.
+    for (NodeId v : settle_order) {
+      if (v == src) {
+        tables.next_hop_[tables.index(src, v)] = src;
+        continue;
+      }
+      const NodeId p = parent[static_cast<std::size_t>(v)];
+      if (p == src) {
+        tables.next_hop_[tables.index(src, v)] = v;
+        tables.next_link_[tables.index(src, v)] =
+            parent_link[static_cast<std::size_t>(v)];
+      } else {
+        tables.next_hop_[tables.index(src, v)] =
+            tables.next_hop_[tables.index(src, p)];
+        tables.next_link_[tables.index(src, v)] =
+            tables.next_link_[tables.index(src, p)];
+      }
+    }
+  }
+  return tables;
+}
+
+std::vector<NodeId> RoutingTables::route(NodeId src, NodeId dst) const {
+  std::vector<NodeId> path{src};
+  NodeId cur = src;
+  while (cur != dst) {
+    const NodeId next = next_hop(cur, dst);
+    MASSF_CHECK(next >= 0 && next != cur,
+                "routing loop or hole at node " << cur << " toward " << dst);
+    path.push_back(next);
+    MASSF_CHECK(path.size() <= static_cast<std::size_t>(n_),
+                "route longer than node count: loop suspected");
+    cur = next;
+  }
+  return path;
+}
+
+std::vector<LinkId> RoutingTables::route_links(NodeId src, NodeId dst) const {
+  std::vector<LinkId> links;
+  NodeId cur = src;
+  while (cur != dst) {
+    links.push_back(next_link(cur, dst));
+    cur = next_hop(cur, dst);
+    MASSF_CHECK(links.size() <= static_cast<std::size_t>(n_),
+                "route longer than node count: loop suspected");
+  }
+  return links;
+}
+
+int RoutingTables::hop_count(NodeId src, NodeId dst) const {
+  return static_cast<int>(route_links(src, dst).size());
+}
+
+double RoutingTables::path_latency(const Network& network, NodeId src,
+                                   NodeId dst) const {
+  double total = 0;
+  for (LinkId l : route_links(src, dst)) total += network.link(l).latency_s;
+  return total;
+}
+
+AggregatedLoad aggregate_flows(const Network& network,
+                               const RoutingTables& tables,
+                               const std::vector<Flow>& flows) {
+  AggregatedLoad out;
+  out.link_load.assign(static_cast<std::size_t>(network.link_count()), 0.0);
+  out.node_load.assign(static_cast<std::size_t>(network.node_count()), 0.0);
+  for (const Flow& flow : flows) {
+    MASSF_REQUIRE(flow.volume >= 0, "flow volume must be non-negative");
+    if (flow.src == flow.dst) continue;
+    out.node_load[static_cast<std::size_t>(flow.src)] += flow.volume;
+    NodeId cur = flow.src;
+    while (cur != flow.dst) {
+      const LinkId l = tables.next_link(cur, flow.dst);
+      out.link_load[static_cast<std::size_t>(l)] += flow.volume;
+      cur = tables.next_hop(cur, flow.dst);
+      out.node_load[static_cast<std::size_t>(cur)] += flow.volume;
+    }
+  }
+  return out;
+}
+
+}  // namespace massf::routing

@@ -1,0 +1,87 @@
+// Static routing for the emulated network.
+//
+// MaSSF instantiates the emulated network and generates routing tables
+// dynamically; we compute the equivalent statically: latency-metric
+// shortest-path next-hop tables for every (source, destination) pair, with
+// deterministic tie-breaking. The emulator's routers forward by table
+// lookup exactly like the real thing; the PLACE mapper discovers these
+// routes through the emulated traceroute (emu/icmp) rather than reading the
+// tables directly, mirroring the paper's methodology.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/network.hpp"
+
+namespace massf::routing {
+
+using topology::LinkId;
+using topology::Network;
+using topology::NodeId;
+
+/// Complete next-hop tables (n² entries). For the network sizes in the
+/// paper (≤ ~600 nodes) the dense form is a few MB and O(1) to query.
+class RoutingTables {
+ public:
+  /// Build tables for the whole network (Dijkstra from every node over link
+  /// latency). Throws if the network is not connected.
+  static RoutingTables build(const Network& network);
+
+  NodeId node_count() const { return n_; }
+
+  /// Next node on the path src → dst (== dst when adjacent; src itself when
+  /// src == dst).
+  NodeId next_hop(NodeId src, NodeId dst) const {
+    return next_hop_[index(src, dst)];
+  }
+
+  /// The link carrying traffic from src toward dst (-1 when src == dst).
+  LinkId next_link(NodeId src, NodeId dst) const {
+    return next_link_[index(src, dst)];
+  }
+
+  /// Full node path src → dst, inclusive of both endpoints.
+  std::vector<NodeId> route(NodeId src, NodeId dst) const;
+
+  /// Links along the path src → dst (empty when src == dst).
+  std::vector<LinkId> route_links(NodeId src, NodeId dst) const;
+
+  /// Number of hops (links) on the path src → dst.
+  int hop_count(NodeId src, NodeId dst) const;
+
+  /// End-to-end one-way propagation latency src → dst (sum of link
+  /// latencies on the route).
+  double path_latency(const Network& network, NodeId src, NodeId dst) const;
+
+ private:
+  RoutingTables(NodeId n) : n_(n) {}
+  std::size_t index(NodeId src, NodeId dst) const;
+
+  NodeId n_ = 0;
+  std::vector<NodeId> next_hop_;
+  std::vector<LinkId> next_link_;
+};
+
+/// A unidirectional traffic demand used for load estimation.
+struct Flow {
+  NodeId src = -1;
+  NodeId dst = -1;
+  /// Estimated volume in "emulation work" units (the paper uses packet
+  /// counts; PLACE uses predicted bytes/bandwidth — any consistent unit).
+  double volume = 0;
+};
+
+/// Per-link and per-node load aggregation: route every flow and add its
+/// volume to each link it crosses and each node it visits (endpoints
+/// included). The core of PLACE's traffic estimation (§3.2).
+struct AggregatedLoad {
+  std::vector<double> link_load;  // indexed by LinkId
+  std::vector<double> node_load;  // indexed by NodeId
+};
+
+AggregatedLoad aggregate_flows(const Network& network,
+                               const RoutingTables& tables,
+                               const std::vector<Flow>& flows);
+
+}  // namespace massf::routing

@@ -1,0 +1,140 @@
+// BRITE-like Internet topology generation.
+//
+// Reproduces the router-level mode of the BRITE toolkit the paper adapted:
+// routers placed uniformly in a plane, wired by Barabási–Albert incremental
+// preferential attachment (each new router connects to `links_per_router`
+// existing routers chosen proportionally to degree), plus optional Waxman
+// shortcuts for extra irregularity. Link latency is proportional to plane
+// distance; bandwidths come from a heavy-tailed carrier-tier distribution.
+// Hosts attach to routers with probability inversely related to router
+// degree (stub hosts live at the edge, not on the core).
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "topology/topologies.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace massf::topology {
+
+namespace {
+
+struct Point {
+  double x, y;
+};
+
+double distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Carrier-tier bandwidth sampled heavy-tailed: most links are OC-3/OC-12,
+/// a few are 10 Gb/s core pipes.
+double sample_bandwidth(Rng& rng) {
+  const double u = rng.next_double();
+  if (u < 0.40) return Mbps(155);   // OC-3
+  if (u < 0.70) return Mbps(622);   // OC-12
+  if (u < 0.88) return Gbps(2.5);   // OC-48
+  if (u < 0.97) return Gbps(10);    // OC-192
+  return Gbps(40);                  // core
+}
+
+}  // namespace
+
+Network make_brite(const BriteParams& params) {
+  MASSF_REQUIRE(params.routers >= 2, "need at least two routers");
+  MASSF_REQUIRE(params.hosts >= 0, "host count must be non-negative");
+  MASSF_REQUIRE(params.links_per_router >= 1,
+                "links_per_router must be >= 1");
+  Rng rng(params.seed);
+
+  Network net;
+  std::vector<Point> position(static_cast<std::size_t>(params.routers));
+  std::vector<int> degree(static_cast<std::size_t>(params.routers), 0);
+  std::vector<NodeId> router(static_cast<std::size_t>(params.routers));
+
+  for (int i = 0; i < params.routers; ++i) {
+    position[static_cast<std::size_t>(i)] = {rng.next_double(),
+                                             rng.next_double()};
+    router[static_cast<std::size_t>(i)] =
+        net.add_router("r" + std::to_string(i), params.as_id);
+  }
+
+  auto link_routers = [&](int i, int j) {
+    const double dist =
+        distance(position[static_cast<std::size_t>(i)],
+                 position[static_cast<std::size_t>(j)]);
+    // Latency floor keeps lookahead positive even for co-located routers.
+    const double latency = std::max(milliseconds(0.5),
+                                    dist * params.delay_per_unit);
+    net.add_link(router[static_cast<std::size_t>(i)],
+                 router[static_cast<std::size_t>(j)], sample_bandwidth(rng),
+                 latency);
+    ++degree[static_cast<std::size_t>(i)];
+    ++degree[static_cast<std::size_t>(j)];
+  };
+
+  // Seed pair, then BA incremental growth.
+  link_routers(0, 1);
+  for (int i = 2; i < params.routers; ++i) {
+    const int tries = std::min(params.links_per_router, i);
+    std::vector<int> chosen;
+    for (int t = 0; t < tries; ++t) {
+      // Preferential attachment over routers [0, i) not already chosen.
+      std::vector<double> weights(static_cast<std::size_t>(i), 0.0);
+      double any = 0;
+      for (int j = 0; j < i; ++j) {
+        if (std::find(chosen.begin(), chosen.end(), j) != chosen.end())
+          continue;
+        weights[static_cast<std::size_t>(j)] =
+            static_cast<double>(degree[static_cast<std::size_t>(j)]) + 0.25;
+        any += weights[static_cast<std::size_t>(j)];
+      }
+      if (any <= 0) break;
+      chosen.push_back(static_cast<int>(rng.pick_weighted(weights)));
+    }
+    for (int j : chosen) link_routers(i, j);
+  }
+
+  // Waxman shortcuts: short links are more likely than long ones.
+  const int extra =
+      static_cast<int>(params.waxman_extra * params.routers);
+  constexpr double kWaxmanAlpha = 0.4;
+  const double max_dist = std::sqrt(2.0);
+  for (int e = 0; e < extra; ++e) {
+    const int i = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(params.routers)));
+    const int j = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(params.routers)));
+    if (i == j) continue;
+    if (net.find_link(router[static_cast<std::size_t>(i)],
+                      router[static_cast<std::size_t>(j)]))
+      continue;
+    const double d = distance(position[static_cast<std::size_t>(i)],
+                              position[static_cast<std::size_t>(j)]);
+    if (rng.next_bool(std::exp(-d / (kWaxmanAlpha * max_dist))))
+      link_routers(i, j);
+  }
+
+  // Hosts prefer low-degree (edge) routers: weight 1/(degree^2).
+  for (int h = 0; h < params.hosts; ++h) {
+    std::vector<double> weights(static_cast<std::size_t>(params.routers));
+    for (int j = 0; j < params.routers; ++j) {
+      const double d =
+          static_cast<double>(degree[static_cast<std::size_t>(j)]);
+      weights[static_cast<std::size_t>(j)] = 1.0 / (1.0 + d * d);
+    }
+    const int attach = static_cast<int>(rng.pick_weighted(weights));
+    const NodeId host = net.add_host("h" + std::to_string(h), params.as_id);
+    net.add_link(host, router[static_cast<std::size_t>(attach)],
+                 Mbps(100),
+                 milliseconds(rng.next_double(0.5, 2.0)));
+  }
+
+  validate_network(net);
+  return net;
+}
+
+}  // namespace massf::topology

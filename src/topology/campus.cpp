@@ -1,0 +1,55 @@
+// Campus topology: a classic three-tier enterprise design (core /
+// distribution / access), matching Table 1's 20 routers + 40 hosts at the
+// default host density.
+#include <string>
+
+#include "topology/topologies.hpp"
+#include "util/error.hpp"
+
+namespace massf::topology {
+
+Network make_campus(int hosts_per_access) {
+  MASSF_REQUIRE(hosts_per_access >= 1, "need at least one host per access");
+  Network net;
+  constexpr int kAs = 0;
+
+  // 4 core routers, full mesh, 10 Gb/s, 1 ms.
+  NodeId core[4];
+  for (int i = 0; i < 4; ++i)
+    core[i] = net.add_router("core" + std::to_string(i), kAs);
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j)
+      net.add_link(core[i], core[j], Gbps(10), milliseconds(10));
+
+  // 8 distribution routers: two per core, dual-homed to that core and the
+  // next one (ring-wise) for redundancy. 1 Gb/s, 0.5 ms.
+  NodeId dist[8];
+  for (int i = 0; i < 8; ++i) {
+    dist[i] = net.add_router("dist" + std::to_string(i), kAs);
+    const int primary = i / 2;
+    const int secondary = (primary + 1) % 4;
+    net.add_link(dist[i], core[primary], Gbps(1), milliseconds(5));
+    net.add_link(dist[i], core[secondary], Gbps(1), milliseconds(5));
+  }
+
+  // 8 access routers, one per distribution router. 1 Gb/s, 0.3 ms.
+  NodeId access[8];
+  for (int i = 0; i < 8; ++i) {
+    access[i] = net.add_router("acc" + std::to_string(i), kAs);
+    net.add_link(access[i], dist[i], Gbps(1), milliseconds(3));
+  }
+
+  // Hosts: hosts_per_access on every access router, 100 Mb/s, 0.1 ms.
+  int host_index = 0;
+  for (int i = 0; i < 8; ++i)
+    for (int h = 0; h < hosts_per_access; ++h) {
+      const NodeId host =
+          net.add_host("h" + std::to_string(host_index++), kAs);
+      net.add_link(host, access[i], Mbps(20), milliseconds(1));
+    }
+
+  validate_network(net);
+  return net;
+}
+
+}  // namespace massf::topology

@@ -1,0 +1,57 @@
+// TeraGrid topology (paper Figure 3): five supercomputing sites joined by a
+// 40 Gb/s national backbone. Each site is modeled as border → core → three
+// leaf routers with cluster hosts, and each site is its own AS so the
+// routing-table memory weight (m = 10 + x²) varies per AS as in the paper.
+#include <array>
+#include <string>
+
+#include "topology/topologies.hpp"
+#include "util/error.hpp"
+
+namespace massf::topology {
+
+Network make_teragrid(int hosts_per_leaf) {
+  MASSF_REQUIRE(hosts_per_leaf >= 1, "need at least one host per leaf");
+  Network net;
+
+  // Backbone AS 0: two hub routers (Los Angeles, Chicago), 40 Gb/s.
+  const NodeId hub_la = net.add_router("hub-LA", 0);
+  const NodeId hub_chi = net.add_router("hub-CHI", 0);
+  net.add_link(hub_la, hub_chi, Gbps(40), milliseconds(25));
+
+  static constexpr std::array<const char*, 5> kSites = {
+      "SDSC", "CIT", "NCSA", "ANL", "PSC"};
+  // SDSC and Caltech hang off LA; NCSA, ANL and PSC off Chicago.
+  static constexpr std::array<int, 5> kHub = {0, 0, 1, 1, 1};
+  // Approximate one-way hub–site latencies (fiber distance).
+  static constexpr std::array<double, 5> kHubLatencyMs = {3, 2, 4, 3, 9};
+
+  for (int s = 0; s < 5; ++s) {
+    const int as_id = s + 1;
+    const std::string site = kSites[static_cast<std::size_t>(s)];
+    const NodeId border = net.add_router(site + "-border", as_id);
+    const NodeId hub = kHub[static_cast<std::size_t>(s)] == 0 ? hub_la : hub_chi;
+    net.add_link(border, hub, Gbps(40),
+                 milliseconds(kHubLatencyMs[static_cast<std::size_t>(s)]));
+
+    const NodeId core = net.add_router(site + "-core", as_id);
+    net.add_link(core, border, Gbps(40), milliseconds(2));
+
+    for (int leaf = 0; leaf < 3; ++leaf) {
+      const NodeId leaf_router =
+          net.add_router(site + "-leaf" + std::to_string(leaf), as_id);
+      net.add_link(leaf_router, core, Gbps(10), milliseconds(1));
+      for (int h = 0; h < hosts_per_leaf; ++h) {
+        const NodeId host = net.add_host(
+            site + "-n" + std::to_string(leaf * hosts_per_leaf + h), as_id);
+        net.add_link(host, leaf_router, Mbps(100), milliseconds(0.5));
+      }
+    }
+  }
+
+  validate_network(net);
+  MASSF_CHECK(net.router_count() == 27, "TeraGrid must have 27 routers");
+  return net;
+}
+
+}  // namespace massf::topology

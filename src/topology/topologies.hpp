@@ -1,0 +1,51 @@
+// Builders for the paper's three experimental topologies (Table 1):
+//
+//   | topology | routers | hosts | engine nodes |
+//   | Campus   |      20 |    40 |            3 |
+//   | TeraGrid |      27 |   150 |            5 |
+//   | Brite    |     160 |   132 |            8 |
+//
+// Campus and TeraGrid are hand-built models of the real networks the paper
+// used; Brite re-implements the BRITE generator's router-level mode
+// (Barabási–Albert preferential attachment) with host stubs, in a single AS
+// (the paper notes BRITE could not create BGP/multi-AS networks).
+#pragma once
+
+#include <cstdint>
+
+#include "topology/network.hpp"
+
+namespace massf::topology {
+
+/// A section of a university campus network: 4 fully-meshed core routers,
+/// 8 distribution routers, 8 access routers, 40 hosts. Single AS.
+/// Defaults match Table 1; scale_hosts multiplies the host population.
+Network make_campus(int hosts_per_access = 5);
+
+/// TeraGrid (paper Figure 3): 5 sites (SDSC, NCSA, ANL, CIT, PSC) joined by
+/// a 40 Gb/s backbone through two hub routers; each site has a border
+/// router, a core router and 3 leaf routers with 10 cluster hosts each
+/// (5*(1+1+3)+2 = 27 routers, 150 hosts). Each site is its own AS; the
+/// backbone hubs form AS 0.
+Network make_teragrid(int hosts_per_leaf = 10);
+
+/// Parameters for the BRITE-like generator.
+struct BriteParams {
+  int routers = 160;
+  int hosts = 132;
+  /// New-router link count for preferential attachment (BRITE's m).
+  int links_per_router = 2;
+  /// Plane side length in latency terms: per-unit-distance delay (seconds).
+  double delay_per_unit = 0.002;
+  /// Probability of an extra Waxman shortcut per router (adds irregularity).
+  double waxman_extra = 0.15;
+  std::uint64_t seed = 42;
+  int as_id = 0;
+};
+
+/// Internet-like router topology: BA preferential attachment + Waxman
+/// shortcuts; bandwidths drawn from a heavy-tailed tier distribution; hosts
+/// attached preferentially to low-degree routers.
+Network make_brite(const BriteParams& params);
+
+}  // namespace massf::topology

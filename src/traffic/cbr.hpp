@@ -1,0 +1,45 @@
+// Constant-bit-rate / Poisson flow generator.
+//
+// The simplest background-traffic model: a fixed set of (src, dst) flows,
+// each emitting messages of a fixed size at a constant or
+// exponentially-jittered interval. Used by tests (perfectly predictable
+// load) and available as a user-facing generator.
+#pragma once
+
+#include <cstdint>
+
+#include "traffic/workload.hpp"
+
+namespace massf::traffic {
+
+struct CbrFlowSpec {
+  NodeId src = -1;
+  NodeId dst = -1;
+  double message_bytes = 15000;
+  double interval_s = 0.1;
+  /// 0 = strict CBR; 1 = Poisson (exponential gaps with the same mean).
+  double jitter = 0;
+  /// The flow starts sending at this simulation time (phased workloads).
+  double start_s = 0;
+};
+
+struct CbrParams {
+  double duration_s = 60;
+  std::uint64_t seed = 5;
+};
+
+class CbrTraffic : public Workload {
+ public:
+  CbrTraffic(std::vector<CbrFlowSpec> flows, CbrParams params);
+
+  void install(emu::Emulator& emulator) const override;
+  std::vector<Flow> predicted_background(
+      const topology::Network& network) const override;
+  double duration() const override { return params_.duration_s; }
+
+ private:
+  std::vector<CbrFlowSpec> flows_;
+  CbrParams params_;
+};
+
+}  // namespace massf::traffic

@@ -1,0 +1,89 @@
+// GridNPB 3.0-like foreground workload.
+//
+// The NAS Grid Benchmarks compose slightly-modified NPB solver tasks into
+// data-flow graphs; the paper runs the combination of Helical Chain (HC),
+// Visualization Pipeline (VP) and Mixed Bag (MB) at class S for ~15
+// minutes. The property the paper leans on is *irregularity*: different
+// tasks dominate at different stages, data volumes vary widely between
+// edges, and traffic is bursty — so PLACE's even all-to-all prediction is
+// poor and PROFILE has the most room to improve (§4.2.1).
+//
+// We model each benchmark as an explicit task DAG executed by workflow
+// endpoints: a task fires when all its inputs have arrived, computes for
+// its modeled time, then ships its outputs to successor tasks. The three
+// graphs run concurrently and loop (instances chained back-to-back) to
+// fill the configured duration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/workload.hpp"
+
+namespace massf::traffic {
+
+/// One node of a workflow DAG.
+struct WorkflowTask {
+  NodeId host = -1;       // where the task executes
+  double compute_s = 0;   // modeled compute time once inputs are ready
+  int inputs_required = 0;
+  /// (successor task index, bytes to send to it)
+  std::vector<std::pair<int, double>> outputs;
+};
+
+/// An executable task DAG (validated: acyclic by construction — successors
+/// always have larger indices).
+struct TaskGraph {
+  std::vector<WorkflowTask> tasks;
+
+  /// Tasks with inputs_required == 0 (fire at start).
+  std::vector<int> roots() const;
+  double total_bytes() const;
+  double total_compute() const;
+};
+
+struct GridNpbParams {
+  /// Repetitions of the combined HC+VP+MB graph (instances are chained so
+  /// the run stays causal end to end).
+  int rounds = 6;
+  /// Class-S data scale: bytes of a "large" solver output.
+  double unit_bytes = 600e3;
+  /// Compute time of a "unit" task; individual tasks vary around it.
+  double unit_compute_s = 6.0;
+  std::uint64_t seed = 13;
+};
+
+/// Workflow executor usable for any TaskGraph (exposed for tests/examples).
+class WorkflowApp : public Workload {
+ public:
+  WorkflowApp(TaskGraph graph, double nominal_duration);
+
+  void install(emu::Emulator& emulator) const override;
+  std::vector<NodeId> injection_points() const override;
+  double duration() const override { return nominal_duration_; }
+
+  const TaskGraph& graph() const { return graph_; }
+
+ private:
+  TaskGraph graph_;
+  double nominal_duration_;
+};
+
+/// Build the paper's combined HC + VP + MB workload over the given hosts
+/// (>= 3 hosts; tasks are spread deterministically).
+TaskGraph make_gridnpb_graph(const std::vector<NodeId>& hosts,
+                             const GridNpbParams& params);
+
+/// Convenience: WorkflowApp wrapping make_gridnpb_graph.
+WorkflowApp make_gridnpb(const std::vector<NodeId>& hosts,
+                         const GridNpbParams& params);
+
+/// Individual benchmark graphs (single instance, for tests/examples).
+TaskGraph make_helical_chain(const std::vector<NodeId>& hosts,
+                             const GridNpbParams& params);
+TaskGraph make_visualization_pipeline(const std::vector<NodeId>& hosts,
+                                      const GridNpbParams& params);
+TaskGraph make_mixed_bag(const std::vector<NodeId>& hosts,
+                         const GridNpbParams& params);
+
+}  // namespace massf::traffic

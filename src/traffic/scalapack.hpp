@@ -1,0 +1,57 @@
+// ScaLapack-like foreground application model.
+//
+// The paper runs ScaLAPACK solving a 3000×3000 system on 10 nodes over
+// MPICH-G for ~10 minutes. What matters for the load-balance study is its
+// *communication structure*: a blocked right-looking LU — each iteration
+// the panel owner broadcasts its panel to every peer, peers apply updates
+// (compute), exchange trailing-matrix pieces with their ring neighbor, and
+// acknowledge to the owner, which then advances the iteration. Traffic is
+// regular and evenly spread across the process grid — exactly why the
+// paper finds PLACE's even all-to-all prediction nearly optimal for it
+// (§4.2.1).
+//
+// Message sizes shrink as the factorization proceeds ((N-k·nb) rows left),
+// and compute time per iteration shrinks quadratically, matching the real
+// algorithm's profile.
+#pragma once
+
+#include <cstdint>
+
+#include "traffic/workload.hpp"
+
+namespace massf::traffic {
+
+struct ScalapackParams {
+  int matrix_n = 3000;     // problem size (N×N)
+  int block_nb = 100;      // panel width
+  /// Byte-scale knob: fraction of the true 8-byte-double volumes to put on
+  /// the wire (keeps event counts laptop-scale; identical across mapping
+  /// approaches so comparisons are unaffected).
+  double size_scale = 0.08;
+  /// Total modeled compute time across the run (distributed per iteration
+  /// proportionally to the true (N-k·nb)² flop profile). Tuned so the whole
+  /// app runs ~10 simulated minutes like the paper's.
+  double total_compute_s = 420;
+  std::uint64_t seed = 11;
+};
+
+class ScalapackApp : public Workload {
+ public:
+  /// `hosts` = the 10 (or any >=2) process hosts, rank order = vector order.
+  ScalapackApp(std::vector<NodeId> hosts, ScalapackParams params);
+
+  void install(emu::Emulator& emulator) const override;
+  std::vector<NodeId> injection_points() const override { return hosts_; }
+  double duration() const override;
+
+  int iterations() const;
+  double panel_bytes(int iteration) const;
+  double update_bytes(int iteration) const;
+  double compute_seconds(int iteration) const;
+
+ private:
+  std::vector<NodeId> hosts_;
+  ScalapackParams params_;
+};
+
+}  // namespace massf::traffic

@@ -1,0 +1,88 @@
+// Workload abstraction shared by experiments and the mapping framework.
+//
+// A Workload can (a) install its application endpoints into an emulator for
+// live execution, and (b) describe itself to the PLACE mapper: predicted
+// background flows (generators "can provide some prediction of their
+// generated traffic load", §3.2) and foreground injection points (the hosts
+// where the live application attaches; PLACE assumes they saturate their
+// access links talking all-to-all evenly).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "emu/emulator.hpp"
+#include "routing/routing.hpp"
+#include "topology/network.hpp"
+
+namespace massf::traffic {
+
+using routing::Flow;
+using topology::NodeId;
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Install endpoints on the emulator (called once per emulation run;
+  /// implementations must be reusable across emulators).
+  virtual void install(emu::Emulator& emulator) const = 0;
+
+  /// Predicted background flows in packets/second (empty for pure
+  /// foreground applications). PLACE feeds these into the edge weights.
+  virtual std::vector<Flow> predicted_background(
+      const topology::Network& network) const {
+    (void)network;
+    return {};
+  }
+
+  /// Hosts where the live (foreground) application injects traffic.
+  virtual std::vector<NodeId> injection_points() const { return {}; }
+
+  /// Nominal duration of the workload in simulation seconds.
+  virtual double duration() const = 0;
+};
+
+/// A set of workloads installed together (e.g. foreground app + background
+/// traffic), presented as one Workload.
+class CompositeWorkload : public Workload {
+ public:
+  void add(std::shared_ptr<const Workload> workload) {
+    parts_.push_back(std::move(workload));
+  }
+
+  void install(emu::Emulator& emulator) const override {
+    for (const auto& part : parts_) part->install(emulator);
+  }
+
+  std::vector<Flow> predicted_background(
+      const topology::Network& network) const override {
+    std::vector<Flow> all;
+    for (const auto& part : parts_) {
+      auto flows = part->predicted_background(network);
+      all.insert(all.end(), flows.begin(), flows.end());
+    }
+    return all;
+  }
+
+  std::vector<NodeId> injection_points() const override {
+    std::vector<NodeId> all;
+    for (const auto& part : parts_) {
+      auto points = part->injection_points();
+      all.insert(all.end(), points.begin(), points.end());
+    }
+    return all;
+  }
+
+  double duration() const override {
+    double longest = 0;
+    for (const auto& part : parts_)
+      longest = std::max(longest, part->duration());
+    return longest;
+  }
+
+ private:
+  std::vector<std::shared_ptr<const Workload>> parts_;
+};
+
+}  // namespace massf::traffic

@@ -1,0 +1,56 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace massf {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  MASSF_REQUIRE(!headers_.empty(), "csv needs at least one column");
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  MASSF_REQUIRE(cells.size() == headers_.size(),
+                "row width " << cells.size() << " != header width "
+                             << headers_.size());
+  rows_.push_back(cells);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << escape(cells[i]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << to_string();
+  if (!out) throw std::runtime_error("write failed for " + path);
+}
+
+}  // namespace massf

@@ -1,0 +1,33 @@
+// Minimal CSV emission for bench artifacts.
+//
+// Benches print human-readable tables to stdout and can additionally dump
+// machine-readable CSV (for replotting figures). Quoting follows RFC 4180.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace massf {
+
+/// Incremental CSV writer; rows must match the header width.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Full document (header + rows) as a string.
+  std::string to_string() const;
+
+  /// Write the document to a file; throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+  /// Quote a single field per RFC 4180 (only when needed).
+  static std::string escape(const std::string& field);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace massf

@@ -1,0 +1,58 @@
+// Error-handling primitives shared by every massf module.
+//
+// MASSF_REQUIRE is for precondition violations by the caller (throws
+// std::invalid_argument); MASSF_CHECK is for internal invariants (throws
+// massf::InternalError). Both always fire, in every build type: the library
+// is used for research-grade measurements where a silently-corrupt result is
+// far more expensive than a branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace massf {
+
+/// Thrown when an internal invariant of the library is violated. Seeing this
+/// exception always indicates a bug in massf, not in user code.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace massf
+
+/// Validate a caller-supplied precondition; throws std::invalid_argument.
+#define MASSF_REQUIRE(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::massf::detail::throw_require(#expr, __FILE__, __LINE__,       \
+                                     (std::ostringstream{} << msg).str()); \
+  } while (false)
+
+/// Validate an internal invariant; throws massf::InternalError.
+#define MASSF_CHECK(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::massf::detail::throw_check(#expr, __FILE__, __LINE__,         \
+                                   (std::ostringstream{} << msg).str()); \
+  } while (false)

@@ -1,0 +1,35 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace massf {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info ";
+    case LogLevel::Warn: return "warn ";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace massf

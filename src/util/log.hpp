@@ -1,0 +1,41 @@
+// Leveled logging.
+//
+// The emulator and benches narrate long runs through this logger. Levels are
+// filtered at runtime (default: Info). Output goes to stderr so bench tables
+// on stdout stay clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace massf {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log-level filter (process-wide, not thread-local).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line ("[level] message") if `level` passes the filter.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  std::ostringstream os;
+  explicit LogLine(LogLevel lvl) : level(lvl) {}
+  ~LogLine() { log_message(level, os.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os << value;
+    return *this;
+  }
+};
+}  // namespace detail
+
+}  // namespace massf
+
+#define MASSF_LOG_DEBUG ::massf::detail::LogLine(::massf::LogLevel::Debug)
+#define MASSF_LOG_INFO ::massf::detail::LogLine(::massf::LogLevel::Info)
+#define MASSF_LOG_WARN ::massf::detail::LogLine(::massf::LogLevel::Warn)
+#define MASSF_LOG_ERROR ::massf::detail::LogLine(::massf::LogLevel::Error)

@@ -1,0 +1,160 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in massf (topology generation, traffic models,
+// partitioner tie-breaking) draws from an explicitly seeded massf::Rng so
+// that experiments are bit-reproducible across runs and machines. The
+// engine is xoshiro256** seeded via splitmix64, which is fast, tiny, and
+// passes BigCrush — more than adequate for simulation workloads.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace massf {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mix two 64-bit values into one; used to derive independent substream
+/// seeds (e.g. per-flow, per-node) from a master experiment seed.
+constexpr std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions, though massf code prefers the
+/// built-in helpers below for cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed (splitmix64 expansion).
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound) {
+    MASSF_REQUIRE(bound > 0, "next_below requires a positive bound");
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (-bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the closed range [lo, hi].
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    MASSF_REQUIRE(lo <= hi, "next_int requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    MASSF_REQUIRE(lo <= hi, "next_double requires lo <= hi");
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean) {
+    MASSF_REQUIRE(mean > 0, "exponential mean must be positive");
+    double u = next_double();
+    // Avoid log(0); the probability of u == 0 is ~2^-53 but be exact anyway.
+    if (u <= 0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Pareto distributed value with given shape (alpha) and scale (minimum).
+  /// Used by the HTTP workload model for heavy-tailed object sizes.
+  double next_pareto(double shape, double scale) {
+    MASSF_REQUIRE(shape > 0 && scale > 0, "pareto parameters must be positive");
+    double u = next_double();
+    if (u <= 0) u = 0x1.0p-53;
+    return scale / std::pow(u, 1.0 / shape);
+  }
+
+  /// Fisher–Yates shuffle (deterministic given the generator state).
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Pick a uniformly random element from a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    MASSF_REQUIRE(!items.empty(), "pick requires a non-empty vector");
+    return items[next_below(items.size())];
+  }
+
+  /// Sample an index proportionally to the (non-negative) weights. At least
+  /// one weight must be positive.
+  std::size_t pick_weighted(const std::vector<double>& weights) {
+    const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    MASSF_REQUIRE(total > 0, "pick_weighted requires positive total weight");
+    double target = next_double() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      target -= weights[i];
+      if (target <= 0) return i;
+    }
+    return weights.size() - 1;  // Floating-point slack: fall to the last bin.
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace massf

@@ -1,0 +1,95 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace massf {
+
+namespace {
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0, end = text.size();
+  while (begin < end && is_space(text[begin])) ++begin;
+  while (end > begin && is_space(text[end - 1])) --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delimiter) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_whitespace(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && is_space(text[i])) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !is_space(text[i])) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+long long parse_int(std::string_view text) {
+  const std::string trimmed = trim(text);
+  long long value = 0;
+  auto [ptr, ec] = std::from_chars(trimmed.data(),
+                                   trimmed.data() + trimmed.size(), value);
+  if (ec != std::errc() || ptr != trimmed.data() + trimmed.size())
+    throw std::invalid_argument("not an integer: '" + trimmed + "'");
+  return value;
+}
+
+double parse_double(std::string_view text) {
+  const std::string trimmed = trim(text);
+  if (trimmed.empty()) throw std::invalid_argument("not a number: ''");
+  char* end = nullptr;
+  const double value = std::strtod(trimmed.c_str(), &end);
+  if (end != trimmed.c_str() + trimmed.size())
+    throw std::invalid_argument("not a number: '" + trimmed + "'");
+  return value;
+}
+
+std::string format_bytes(double bytes) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return format_double(bytes, 1) + " " + units[unit];
+}
+
+std::string format_bandwidth(double bits_per_second) {
+  static const char* units[] = {"b/s", "Kb/s", "Mb/s", "Gb/s", "Tb/s"};
+  int unit = 0;
+  while (bits_per_second >= 1000.0 && unit < 4) {
+    bits_per_second /= 1000.0;
+    ++unit;
+  }
+  return format_double(bits_per_second, 1) + " " + units[unit];
+}
+
+}  // namespace massf

@@ -1,0 +1,32 @@
+// Small string helpers used by the network-description parser and benches.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace massf {
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(std::string_view text);
+
+/// Split on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Split on runs of ASCII whitespace; empty tokens are dropped.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parse helpers that throw std::invalid_argument with the offending text.
+long long parse_int(std::string_view text);
+double parse_double(std::string_view text);
+
+/// Human-readable byte count ("1.5 MB").
+std::string format_bytes(double bytes);
+
+/// Human-readable bit rate ("40.0 Gb/s").
+std::string format_bandwidth(double bits_per_second);
+
+}  // namespace massf

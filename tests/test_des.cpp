@@ -1,0 +1,208 @@
+// Tests for the conservative parallel DES kernel: event ordering,
+// lookahead enforcement, window accounting, and sequential/threaded
+// equivalence.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "des/kernel.hpp"
+
+namespace massf::des {
+namespace {
+
+TEST(Kernel, EventsRunInTimestampOrderPerLp) {
+  Kernel kernel(1, 0.5);
+  std::vector<double> order;
+  kernel.schedule(0, 3.0, [&] { order.push_back(3.0); });
+  kernel.schedule(0, 1.0, [&] { order.push_back(1.0); });
+  kernel.schedule(0, 2.0, [&] { order.push_back(2.0); });
+  kernel.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(kernel.stats().events_per_lp[0], 3u);
+}
+
+TEST(Kernel, SameTimeEventsRunInScheduleOrder) {
+  Kernel kernel(1, 0.5);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    kernel.schedule(0, 1.0, [&order, i] { order.push_back(i); });
+  kernel.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Kernel, ChildEventsInSameWindowRun) {
+  Kernel kernel(1, 1.0);
+  std::vector<double> times;
+  kernel.schedule(0, 0.5, [&] {
+    times.push_back(0.5);
+    // Schedules within the current window: must still execute.
+    // (now=0.5, window end >= 1.5 > 0.9)
+  });
+  kernel.run_until(10.0);
+  EXPECT_EQ(times.size(), 1u);
+}
+
+TEST(Kernel, NowReflectsEventTime) {
+  Kernel kernel(1, 0.5);
+  double seen = -1;
+  kernel.schedule(0, 2.25, [&] { seen = kernel.now(); });
+  kernel.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 2.25);
+}
+
+TEST(Kernel, EndTimeExcludesLaterEvents) {
+  Kernel kernel(1, 0.5);
+  int ran = 0;
+  kernel.schedule(0, 1.0, [&] { ++ran; });
+  kernel.schedule(0, 5.0, [&] { ++ran; });
+  kernel.run_until(5.0);  // strictly-before semantics
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Kernel, RemoteNeedsLookahead) {
+  Kernel kernel(2, 1.0);
+  bool violated_caught = false;
+  kernel.schedule(0, 1.0, [&] {
+    try {
+      kernel.schedule_remote(1, 1.5, [] {});  // < now + lookahead
+    } catch (const std::invalid_argument&) {
+      violated_caught = true;
+    }
+  });
+  kernel.run_until(10.0);
+  EXPECT_TRUE(violated_caught);
+}
+
+TEST(Kernel, RemoteDeliveryExecutes) {
+  Kernel kernel(2, 1.0);
+  double delivered_at = -1;
+  kernel.schedule(0, 1.0, [&] {
+    kernel.schedule_remote(1, 2.5, [&] { delivered_at = kernel.now(); });
+  });
+  kernel.run_until(10.0);
+  EXPECT_DOUBLE_EQ(delivered_at, 2.5);
+  EXPECT_EQ(kernel.stats().remote_messages, 1u);
+  EXPECT_EQ(kernel.stats().events_per_lp[1], 1u);
+}
+
+TEST(Kernel, ScheduleDuringRunOnlyTargetsOwnLp) {
+  Kernel kernel(2, 1.0);
+  bool caught = false;
+  kernel.schedule(0, 1.0, [&] {
+    try {
+      kernel.schedule(1, 5.0, [] {});
+    } catch (const std::invalid_argument&) {
+      caught = true;
+    }
+  });
+  kernel.run_until(10.0);
+  EXPECT_TRUE(caught);
+}
+
+TEST(Kernel, CannotScheduleIntoPast) {
+  Kernel kernel(1, 1.0);
+  bool caught = false;
+  kernel.schedule(0, 2.0, [&] {
+    try {
+      kernel.schedule(0, 1.0, [] {});
+    } catch (const std::invalid_argument&) {
+      caught = true;
+    }
+  });
+  kernel.run_until(10.0);
+  EXPECT_TRUE(caught);
+}
+
+TEST(Kernel, IdleSpansAreSkipped) {
+  // Two events 1000 lookaheads apart must not cost 1000 windows.
+  Kernel kernel(1, 1.0);
+  kernel.schedule(0, 0.0, [] {});
+  kernel.schedule(0, 1000.0, [] {});
+  kernel.run_until(2000.0);
+  EXPECT_LE(kernel.stats().windows, 4u);
+}
+
+TEST(Kernel, ModeledTimeTracksCostModel) {
+  CostModel cost;
+  cost.per_event = 1e-3;
+  cost.per_remote_message = 0;
+  cost.per_window_sync = 1e-2;
+  Kernel kernel(1, 1.0, cost);
+  for (int i = 0; i < 10; ++i) kernel.schedule(0, 0.5, [] {});
+  kernel.run_until(10.0);
+  // One window: 10 events * 1ms + 1 sync * 10ms.
+  EXPECT_NEAR(kernel.stats().modeled_time, 10 * 1e-3 + 1e-2, 1e-12);
+  EXPECT_EQ(kernel.stats().windows, 1u);
+}
+
+TEST(Kernel, LoadSeriesBucketsBySimTime) {
+  Kernel kernel(1, 10.0);
+  kernel.set_bucket_width(1.0);
+  kernel.schedule(0, 0.5, [] {});
+  kernel.schedule(0, 2.5, [] {});
+  kernel.schedule(0, 2.75, [] {});
+  kernel.run_until(10.0);
+  const auto& series = kernel.stats().load_series[0];
+  ASSERT_GE(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+  EXPECT_DOUBLE_EQ(series[1], 0.0);
+  EXPECT_DOUBLE_EQ(series[2], 2.0);
+}
+
+TEST(Kernel, RunTwiceRejected) {
+  Kernel kernel(1, 1.0);
+  kernel.schedule(0, 0.5, [] {});
+  kernel.run_until(1.0);
+  EXPECT_THROW(kernel.run_until(2.0), std::invalid_argument);
+}
+
+TEST(Kernel, ThreadedExceptionPropagates) {
+  Kernel kernel(2, 1.0);
+  kernel.schedule(0, 0.5, [] { throw std::runtime_error("boom"); });
+  kernel.schedule(1, 0.5, [] {});
+  EXPECT_THROW(kernel.run_until(10.0, ExecutionMode::Threaded),
+               std::runtime_error);
+}
+
+/// Build a deterministic ping-pong workload across `lps` LPs and return the
+/// kernel stats after running in the given mode.
+KernelStats pingpong(int lps, ExecutionMode mode) {
+  Kernel kernel(lps, 1.0);
+  // Self-perpetuating chains: each LP forwards a token around the ring,
+  // also scheduling local work.
+  std::function<void(int, int)> hop = [&](int lp, int hops_left) {
+    if (hops_left == 0) return;
+    const double now = kernel.now();
+    kernel.schedule(lp, now + 0.25, [] {});  // local filler
+    const int next = (lp + 1) % lps;
+    auto continuation = [&hop, next, hops_left] { hop(next, hops_left - 1); };
+    if (next == lp)
+      kernel.schedule(lp, now + 1.0, continuation);
+    else
+      kernel.schedule_remote(next, now + 1.0, continuation);
+  };
+  for (int lp = 0; lp < lps; ++lp)
+    kernel.schedule(lp, 0.1 * (lp + 1), [&hop, lp] { hop(lp, 40); });
+  kernel.run_until(1e6, mode);
+  return kernel.stats();
+}
+
+class ModeEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModeEquivalence, SequentialAndThreadedIdentical) {
+  const int lps = GetParam();
+  const KernelStats seq = pingpong(lps, ExecutionMode::Sequential);
+  const KernelStats thr = pingpong(lps, ExecutionMode::Threaded);
+  EXPECT_EQ(seq.history_hash, thr.history_hash);
+  EXPECT_EQ(seq.events_per_lp, thr.events_per_lp);
+  EXPECT_EQ(seq.remote_messages, thr.remote_messages);
+  EXPECT_EQ(seq.windows, thr.windows);
+  EXPECT_NEAR(seq.modeled_time, thr.modeled_time, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(LpCounts, ModeEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace massf::des

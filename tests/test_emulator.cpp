@@ -1,0 +1,256 @@
+// Tests for the packet-level emulator: delivery semantics, timing, packet
+// conservation, NetFlow accounting, FIFO ordering, drops, ICMP traceroute,
+// and engine-placement effects (lookahead, remote messages).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "emu/emulator.hpp"
+#include "emu/icmp.hpp"
+#include "routing/routing.hpp"
+#include "topology/topologies.hpp"
+
+namespace massf::emu {
+namespace {
+
+using routing::RoutingTables;
+using topology::Gbps;
+using topology::make_campus;
+using topology::Mbps;
+using topology::milliseconds;
+using topology::Network;
+
+/// a --- r0 --- r1 --- b  (line network, two hosts, two routers)
+struct LineFixture {
+  Network net;
+  NodeId a, r0, r1, b;
+  std::unique_ptr<RoutingTables> tables;
+
+  LineFixture() {
+    a = net.add_host("a", 0);
+    r0 = net.add_router("r0", 0);
+    r1 = net.add_router("r1", 0);
+    b = net.add_host("b", 0);
+    net.add_link(a, r0, Mbps(100), milliseconds(1));
+    net.add_link(r0, r1, Gbps(1), milliseconds(5));
+    net.add_link(r1, b, Mbps(100), milliseconds(1));
+    tables = std::make_unique<RoutingTables>(RoutingTables::build(net));
+  }
+
+  Emulator make(std::vector<int> engines, int count,
+                EmulatorConfig config = {}) {
+    return Emulator(net, *tables, std::move(engines), count, config);
+  }
+};
+
+/// Endpoint recording everything it receives.
+class Sink : public AppEndpoint {
+ public:
+  void receive(AppApi& api, const AppMessage& message) override {
+    (void)api;
+    messages.push_back(message);
+  }
+  std::vector<AppMessage> messages;
+};
+
+TEST(Emulator, DeliversAMessage) {
+  LineFixture fx;
+  Emulator emu = fx.make({0, 0, 0, 0}, 1);
+  auto sink = std::make_unique<Sink>();
+  Sink* sink_ptr = sink.get();
+  emu.install_endpoint(fx.b, std::move(sink));
+  emu.send_message(fx.a, fx.b, 3000, 42, 0.0);
+  emu.run(10.0);
+  ASSERT_EQ(sink_ptr->messages.size(), 1u);
+  EXPECT_EQ(sink_ptr->messages[0].src, fx.a);
+  EXPECT_EQ(sink_ptr->messages[0].tag, 42);
+  EXPECT_DOUBLE_EQ(sink_ptr->messages[0].bytes, 3000);
+}
+
+TEST(Emulator, DeliveryTimeIncludesSerializationAndLatency) {
+  LineFixture fx;
+  EmulatorConfig config;
+  config.train_packets = 1;
+  Emulator emu = fx.make({0, 0, 0, 0}, 1, config);
+  auto sink = std::make_unique<Sink>();
+  Sink* sink_ptr = sink.get();
+  emu.install_endpoint(fx.b, std::move(sink));
+  emu.send_message(fx.a, fx.b, 1000, 0, 0.0);  // single 1000-byte packet
+  emu.run(10.0);
+  ASSERT_EQ(sink_ptr->messages.size(), 1u);
+  const double tx100 = 1000 * 8.0 / Mbps(100);
+  const double tx1g = 1000 * 8.0 / Gbps(1);
+  const double expected = (tx100 + 1e-3) + (tx1g + 5e-3) + (tx100 + 1e-3);
+  EXPECT_NEAR(sink_ptr->messages[0].delivered_at, expected, 1e-9);
+}
+
+TEST(Emulator, PacketConservation) {
+  LineFixture fx;
+  Emulator emu = fx.make({0, 0, 0, 0}, 1);
+  for (int i = 0; i < 20; ++i)
+    emu.send_message(fx.a, fx.b, 9000, 0, 0.01 * i);
+  emu.run(30.0);
+  const EmulatorStats stats = emu.stats();
+  EXPECT_EQ(stats.trains_injected,
+            stats.trains_delivered + stats.trains_dropped);
+  EXPECT_EQ(stats.messages_sent, 20u);
+  EXPECT_EQ(stats.messages_delivered, 20u);
+  EXPECT_EQ(stats.trains_dropped, 0u);
+}
+
+TEST(Emulator, PerFlowFifoDelivery) {
+  LineFixture fx;
+  Emulator emu = fx.make({0, 0, 0, 0}, 1);
+  auto sink = std::make_unique<Sink>();
+  Sink* sink_ptr = sink.get();
+  emu.install_endpoint(fx.b, std::move(sink));
+  for (int i = 0; i < 10; ++i)
+    emu.send_message(fx.a, fx.b, 20000, i, 0.0);  // same instant, same route
+  emu.run(30.0);
+  ASSERT_EQ(sink_ptr->messages.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sink_ptr->messages[i].tag, i);
+}
+
+TEST(Emulator, NetFlowCountsMatchInjectedPackets) {
+  LineFixture fx;
+  EmulatorConfig config;
+  config.train_packets = 1;
+  Emulator emu = fx.make({0, 0, 0, 0}, 1, config);
+  // 1 message of 4500 bytes = 3 MTU packets; path has 4 nodes and 3 links.
+  emu.send_message(fx.a, fx.b, 4500, 0, 0.0);
+  emu.run(10.0);
+  const NetFlowCollector& nf = emu.netflow();
+  EXPECT_DOUBLE_EQ(nf.node_packets()[static_cast<std::size_t>(fx.a)], 3.0);
+  EXPECT_DOUBLE_EQ(nf.node_packets()[static_cast<std::size_t>(fx.r0)], 3.0);
+  EXPECT_DOUBLE_EQ(nf.node_packets()[static_cast<std::size_t>(fx.r1)], 3.0);
+  EXPECT_DOUBLE_EQ(nf.node_packets()[static_cast<std::size_t>(fx.b)], 3.0);
+  for (double link : nf.link_packets()) EXPECT_DOUBLE_EQ(link, 3.0);
+  EXPECT_DOUBLE_EQ(nf.total_node_packets(), 12.0);
+}
+
+TEST(Emulator, NetFlowRecordsFlowDetails) {
+  LineFixture fx;
+  Emulator emu = fx.make({0, 0, 0, 0}, 1);
+  emu.send_message(fx.a, fx.b, 30000, 1, 0.0);
+  emu.send_message(fx.b, fx.a, 15000, 2, 0.0);
+  emu.run(10.0);
+  const auto flows_r0 = emu.netflow().node_flows(fx.r0);
+  EXPECT_EQ(flows_r0.size(), 2u);  // two distinct (src,dst,tag) flows
+  for (const FlowRecord& record : flows_r0) {
+    EXPECT_GT(record.packets, 0);
+    EXPECT_GE(record.last_seen, record.first_seen);
+  }
+}
+
+TEST(Emulator, DropTailUnderOverload) {
+  LineFixture fx;
+  EmulatorConfig config;
+  config.max_queue_delay = 0.005;  // very shallow queues
+  Emulator emu = fx.make({0, 0, 0, 0}, 1, config);
+  // 100 Mb/s access link; offer ~10x capacity instantly.
+  for (int i = 0; i < 100; ++i)
+    emu.send_message(fx.a, fx.b, 15000, 0, 0.0);
+  emu.run(10.0);
+  const EmulatorStats stats = emu.stats();
+  EXPECT_GT(stats.trains_dropped, 0u);
+  EXPECT_EQ(stats.trains_injected,
+            stats.trains_delivered + stats.trains_dropped);
+}
+
+TEST(Emulator, LookaheadIsMinCrossEngineLatency) {
+  LineFixture fx;
+  // Engines split across the middle 5 ms link.
+  Emulator emu = fx.make({0, 0, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(emu.lookahead(), 5e-3);
+  // Split across a 1 ms access link instead.
+  Emulator emu2 = fx.make({0, 1, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(emu2.lookahead(), 1e-3);
+}
+
+TEST(Emulator, CrossEngineTrafficCountsRemoteMessages) {
+  LineFixture fx;
+  Emulator emu = fx.make({0, 0, 1, 1}, 2);
+  emu.send_message(fx.a, fx.b, 3000, 0, 0.0);
+  emu.run(10.0);
+  EXPECT_GT(emu.kernel_stats().remote_messages, 0u);
+  // Same-engine mapping has none.
+  Emulator emu2 = fx.make({0, 0, 0, 0}, 1);
+  emu2.send_message(fx.a, fx.b, 3000, 0, 0.0);
+  emu2.run(10.0);
+  EXPECT_EQ(emu2.kernel_stats().remote_messages, 0u);
+}
+
+TEST(Emulator, IdenticalResultsAcrossEngineCounts) {
+  // Delivery outcomes (message count, delivered bytes) are placement-
+  // independent; only load distribution changes.
+  LineFixture fx;
+  Emulator one = fx.make({0, 0, 0, 0}, 1);
+  Emulator two = fx.make({0, 1, 0, 1}, 2);
+  for (Emulator* emu : {&one, &two}) {
+    for (int i = 0; i < 7; ++i)
+      emu->send_message(fx.a, fx.b, 12000, i, 0.05 * i);
+    emu->run(20.0);
+  }
+  EXPECT_EQ(one.stats().messages_delivered, two.stats().messages_delivered);
+  EXPECT_DOUBLE_EQ(one.stats().bytes_delivered, two.stats().bytes_delivered);
+  // Total kernel events identical too: same packets, same hops.
+  std::uint64_t e1 = 0, e2 = 0;
+  for (auto c : one.kernel_stats().events_per_lp) e1 += c;
+  for (auto c : two.kernel_stats().events_per_lp) e2 += c;
+  EXPECT_EQ(e1, e2);
+}
+
+TEST(Emulator, ComputeDelaysViaAppApi) {
+  LineFixture fx;
+  Emulator emu = fx.make({0, 0, 0, 0}, 1);
+
+  class Delayer : public AppEndpoint {
+   public:
+    void start(AppApi& api) override {
+      api.after(2.5, [this] { fired = true; });
+    }
+    bool fired = false;
+  };
+  auto ep = std::make_unique<Delayer>();
+  Delayer* raw = ep.get();
+  emu.install_endpoint(fx.a, std::move(ep));
+  emu.run(10.0);
+  EXPECT_TRUE(raw->fired);
+}
+
+TEST(Traceroute, DiscoversTablePaths) {
+  const Network net = make_campus();
+  const RoutingTables tables = RoutingTables::build(net);
+  const auto hosts = net.hosts();
+  std::vector<std::pair<NodeId, NodeId>> pairs{
+      {hosts[0], hosts[39]}, {hosts[5], hosts[20]}, {hosts[1], hosts[2]}};
+  const auto routes = discover_routes(net, tables, pairs);
+  ASSERT_EQ(routes.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(routes[i], tables.route(pairs[i].first, pairs[i].second))
+        << "pair " << i;
+  }
+}
+
+TEST(Traceroute, WorksBetweenRouters) {
+  const Network net = make_campus();
+  const RoutingTables tables = RoutingTables::build(net);
+  const auto routers = net.routers();
+  std::vector<std::pair<NodeId, NodeId>> pairs{{routers[0], routers[19]}};
+  const auto routes = discover_routes(net, tables, pairs);
+  EXPECT_EQ(routes[0], tables.route(routers[0], routers[19]));
+}
+
+TEST(Emulator, RejectsBadConfiguration) {
+  LineFixture fx;
+  EXPECT_THROW(fx.make({0, 0, 0}, 1), std::invalid_argument);   // wrong size
+  EXPECT_THROW(fx.make({0, 0, 0, 2}, 2), std::invalid_argument);  // engine id
+  Emulator emu = fx.make({0, 0, 0, 0}, 1);
+  EXPECT_THROW(emu.send_message(fx.a, fx.a, 100, 0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(emu.send_message(fx.a, fx.b, 0, 0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace massf::emu

@@ -1,0 +1,113 @@
+// Tests for graph serialization (METIS format round-trip, DOT export).
+#include <gtest/gtest.h>
+
+#include "graph/graph_io.hpp"
+#include "util/rng.hpp"
+
+namespace massf::graph {
+namespace {
+
+Graph sample_graph(int ncon = 2) {
+  GraphBuilder b(ncon);
+  for (int i = 0; i < 6; ++i) {
+    std::vector<double> w;
+    for (int c = 0; c < ncon; ++c)
+      w.push_back(static_cast<double>(1 + i + 10 * c));
+    b.add_vertex(w);
+  }
+  b.add_edge(0, 1, 2.0);
+  b.add_edge(1, 2, 3.0);
+  b.add_edge(2, 3, 4.0);
+  b.add_edge(3, 4, 5.0);
+  b.add_edge(4, 5, 6.0);
+  b.add_edge(5, 0, 7.0);
+  b.add_edge(1, 4, 8.0);
+  return b.build();
+}
+
+TEST(MetisFormat, HeaderShape) {
+  const std::string text = write_metis(sample_graph());
+  EXPECT_EQ(text.substr(0, text.find('\n')), "6 7 011 2");
+}
+
+TEST(MetisFormat, RoundTripsStructureAndWeights) {
+  const Graph g = sample_graph();
+  const Graph h = read_metis(write_metis(g));
+  ASSERT_EQ(h.vertex_count(), g.vertex_count());
+  ASSERT_EQ(h.edge_count(), g.edge_count());
+  ASSERT_EQ(h.constraint_count(), g.constraint_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    for (int c = 0; c < g.constraint_count(); ++c)
+      EXPECT_DOUBLE_EQ(h.vertex_weight(v, c), g.vertex_weight(v, c));
+    ASSERT_EQ(h.degree(v), g.degree(v));
+  }
+  EXPECT_DOUBLE_EQ(h.total_edge_weight(), g.total_edge_weight());
+}
+
+TEST(MetisFormat, ParsesUnweightedAndComments) {
+  const std::string text =
+      "% a comment\n"
+      "3 2\n"
+      "2\n"
+      "1 3\n"
+      "2\n";
+  const Graph g = read_metis(text);
+  EXPECT_EQ(g.vertex_count(), 3);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_DOUBLE_EQ(g.arc_weight(0), 1.0);
+}
+
+TEST(MetisFormat, RejectsMalformed) {
+  EXPECT_THROW(read_metis(""), std::invalid_argument);
+  EXPECT_THROW(read_metis("3 2 999\n"), std::invalid_argument);
+  // Header promises 5 edges; body has 1.
+  EXPECT_THROW(read_metis("2 5\n2\n1\n"), std::invalid_argument);
+  // Neighbor out of range.
+  EXPECT_THROW(read_metis("2 1\n9\n1\n"), std::invalid_argument);
+}
+
+TEST(MetisFormat, LargeRandomRoundTrip) {
+  Rng rng(3);
+  GraphBuilder b(1);
+  for (int i = 0; i < 200; ++i)
+    b.add_vertex(static_cast<double>(rng.next_int(1, 50)));
+  for (int i = 1; i < 200; ++i)
+    b.add_edge(static_cast<VertexId>(rng.next_below(
+                   static_cast<std::uint64_t>(i))),
+               i, static_cast<double>(rng.next_int(1, 9)));
+  const Graph g = b.build();
+  const Graph h = read_metis(write_metis(g));
+  EXPECT_EQ(h.vertex_count(), g.vertex_count());
+  EXPECT_EQ(h.edge_count(), g.edge_count());
+  EXPECT_DOUBLE_EQ(h.total_vertex_weight(), g.total_vertex_weight());
+  EXPECT_DOUBLE_EQ(h.total_edge_weight(), g.total_edge_weight());
+}
+
+TEST(DotExport, PlainGraph) {
+  const std::string dot = write_dot(sample_graph());
+  EXPECT_NE(dot.find("graph massf {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n4"), std::string::npos);
+  // Each undirected edge appears exactly once.
+  EXPECT_EQ(dot.find("n1 -- n0"), std::string::npos);
+}
+
+TEST(DotExport, ColorsByBlock) {
+  const Graph g = sample_graph();
+  const std::vector<int> assignment{0, 0, 1, 1, 2, 2};
+  const std::string dot = write_dot(g, &assignment);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"0/0\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"5/2\""), std::string::npos);
+}
+
+TEST(DotExport, RejectsBadAssignment) {
+  const Graph g = sample_graph();
+  const std::vector<int> wrong_size{0, 1};
+  EXPECT_THROW(write_dot(g, &wrong_size), std::invalid_argument);
+  const std::vector<int> negative{0, 0, -1, 0, 0, 0};
+  EXPECT_THROW(write_dot(g, &negative), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace massf::graph

@@ -1,0 +1,155 @@
+// Tests for static routing: next-hop table correctness, path properties,
+// determinism, and flow aggregation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "routing/routing.hpp"
+#include "topology/topologies.hpp"
+
+namespace massf::routing {
+namespace {
+
+using topology::make_brite;
+using topology::make_campus;
+using topology::make_teragrid;
+using topology::Network;
+
+TEST(Routing, DirectNeighborsRouteDirectly) {
+  const Network net = make_campus();
+  const RoutingTables tables = RoutingTables::build(net);
+  for (topology::LinkId l = 0; l < net.link_count(); ++l) {
+    const topology::Link& link = net.link(l);
+    // Either the direct link or an equally-short alternative; in Campus all
+    // direct links are strictly shortest.
+    EXPECT_EQ(tables.next_hop(link.a, link.b), link.b);
+    EXPECT_EQ(tables.next_hop(link.b, link.a), link.a);
+  }
+}
+
+TEST(Routing, RoutesReachEveryPair) {
+  const Network net = make_teragrid(2);
+  const RoutingTables tables = RoutingTables::build(net);
+  for (topology::NodeId s = 0; s < net.node_count(); s += 7) {
+    for (topology::NodeId d = 0; d < net.node_count(); d += 5) {
+      if (s == d) continue;
+      const auto path = tables.route(s, d);
+      ASSERT_GE(path.size(), 2u);
+      EXPECT_EQ(path.front(), s);
+      EXPECT_EQ(path.back(), d);
+      // Consecutive hops are adjacent.
+      for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_TRUE(net.find_link(path[i], path[i + 1]).has_value());
+    }
+  }
+}
+
+TEST(Routing, PathLatencyMatchesDijkstra) {
+  const Network net = make_brite({.routers = 60, .hosts = 30, .seed = 3});
+  const RoutingTables tables = RoutingTables::build(net);
+
+  // Independent check: Dijkstra over an equivalent latency graph.
+  graph::GraphBuilder b(1);
+  for (topology::NodeId v = 0; v < net.node_count(); ++v) b.add_vertex(1.0);
+  for (topology::LinkId l = 0; l < net.link_count(); ++l)
+    b.add_edge(net.link(l).a, net.link(l).b, net.link(l).latency_s);
+  const graph::Graph g = b.build();
+
+  const topology::NodeId src = 0;
+  const auto sp = graph::dijkstra(g, src);
+  for (topology::NodeId d = 1; d < net.node_count(); d += 3)
+    EXPECT_NEAR(tables.path_latency(net, src, d),
+                sp.distance[static_cast<std::size_t>(d)], 1e-12)
+        << "dest " << d;
+}
+
+TEST(Routing, PathsHaveNoLoops) {
+  const Network net = make_brite({.routers = 80, .hosts = 40, .seed = 9});
+  const RoutingTables tables = RoutingTables::build(net);
+  for (topology::NodeId s = 0; s < net.node_count(); s += 11) {
+    for (topology::NodeId d = 0; d < net.node_count(); d += 13) {
+      if (s == d) continue;
+      const auto path = tables.route(s, d);
+      std::set<topology::NodeId> seen(path.begin(), path.end());
+      EXPECT_EQ(seen.size(), path.size()) << "loop on " << s << "->" << d;
+    }
+  }
+}
+
+TEST(Routing, DeterministicAcrossBuilds) {
+  const Network net = make_brite({.routers = 50, .hosts = 25, .seed = 5});
+  const RoutingTables a = RoutingTables::build(net);
+  const RoutingTables b = RoutingTables::build(net);
+  for (topology::NodeId s = 0; s < net.node_count(); s += 3)
+    for (topology::NodeId d = 0; d < net.node_count(); d += 3)
+      EXPECT_EQ(a.next_hop(s, d), b.next_hop(s, d));
+}
+
+TEST(Routing, HopCountConsistentWithRouteLinks) {
+  const Network net = make_campus();
+  const RoutingTables tables = RoutingTables::build(net);
+  const auto hosts = net.hosts();
+  const auto s = hosts.front();
+  const auto d = hosts.back();
+  EXPECT_EQ(tables.hop_count(s, d),
+            static_cast<int>(tables.route_links(s, d).size()));
+  EXPECT_EQ(tables.route(s, d).size(),
+            tables.route_links(s, d).size() + 1);
+}
+
+TEST(Routing, RejectsDisconnectedNetworks) {
+  Network net;
+  net.add_router("a", 0);
+  net.add_router("b", 0);
+  net.add_router("c", 0);
+  net.add_link(0, 1, topology::Mbps(10), topology::milliseconds(1));
+  EXPECT_THROW(RoutingTables::build(net), std::invalid_argument);
+}
+
+TEST(AggregateFlows, ConservationOnAPath) {
+  // a - b - c: one flow a->c with volume 5 loads both links and all nodes.
+  Network net;
+  const auto a = net.add_host("a", 0);
+  const auto b = net.add_router("b", 0);
+  const auto c = net.add_host("c", 0);
+  net.add_link(a, b, topology::Mbps(10), topology::milliseconds(1));
+  net.add_link(b, c, topology::Mbps(10), topology::milliseconds(1));
+  const RoutingTables tables = RoutingTables::build(net);
+
+  const AggregatedLoad load = aggregate_flows(net, tables, {{a, c, 5.0}});
+  EXPECT_DOUBLE_EQ(load.link_load[0], 5.0);
+  EXPECT_DOUBLE_EQ(load.link_load[1], 5.0);
+  EXPECT_DOUBLE_EQ(load.node_load[static_cast<std::size_t>(a)], 5.0);
+  EXPECT_DOUBLE_EQ(load.node_load[static_cast<std::size_t>(b)], 5.0);
+  EXPECT_DOUBLE_EQ(load.node_load[static_cast<std::size_t>(c)], 5.0);
+}
+
+TEST(AggregateFlows, SumsOverlappingFlows) {
+  const Network net = make_campus();
+  const RoutingTables tables = RoutingTables::build(net);
+  const auto hosts = net.hosts();
+  std::vector<Flow> flows{{hosts[0], hosts[39], 2.0},
+                          {hosts[39], hosts[0], 3.0}};
+  const AggregatedLoad load = aggregate_flows(net, tables, flows);
+  // Total link volume = volume * hops, per flow.
+  const double hops01 = tables.hop_count(hosts[0], hosts[39]);
+  const double hops10 = tables.hop_count(hosts[39], hosts[0]);
+  double total = 0;
+  for (double x : load.link_load) total += x;
+  EXPECT_NEAR(total, 2.0 * hops01 + 3.0 * hops10, 1e-9);
+}
+
+TEST(AggregateFlows, IgnoresSelfAndRejectsNegative) {
+  const Network net = make_campus();
+  const RoutingTables tables = RoutingTables::build(net);
+  const auto hosts = net.hosts();
+  const AggregatedLoad load =
+      aggregate_flows(net, tables, {{hosts[0], hosts[0], 7.0}});
+  for (double x : load.link_load) EXPECT_DOUBLE_EQ(x, 0.0);
+  EXPECT_THROW(aggregate_flows(net, tables, {{hosts[0], hosts[1], -1.0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace massf::routing

@@ -1,0 +1,259 @@
+// Tests for the traffic generators: HTTP background, ScaLapack-like,
+// GridNPB-like workflow, CBR.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "routing/routing.hpp"
+#include "topology/topologies.hpp"
+#include "traffic/cbr.hpp"
+#include "traffic/gridnpb.hpp"
+#include "traffic/http.hpp"
+#include "traffic/scalapack.hpp"
+
+namespace massf::traffic {
+namespace {
+
+using routing::RoutingTables;
+using topology::make_campus;
+using topology::Network;
+
+struct Fixture {
+  Network net = make_campus();
+  RoutingTables tables = RoutingTables::build(net);
+
+  emu::Emulator make_emulator() {
+    return emu::Emulator(
+        net, tables,
+        std::vector<int>(static_cast<std::size_t>(net.node_count()), 0), 1);
+  }
+
+  std::vector<NodeId> pick_hosts(int count) {
+    auto hosts = net.hosts();
+    hosts.resize(static_cast<std::size_t>(count));
+    return hosts;
+  }
+};
+
+TEST(Http, PairSelectionRespectsParams) {
+  Fixture fx;
+  HttpParams params;
+  params.server_number = 8;
+  params.clients_per_server = 3;
+  const HttpBackground http(fx.net, params);
+  // Zipf popularity redistributes the 8*3 session budget across servers
+  // (per-server rounding can drift by a few), keeping every server at
+  // >= 1 session.
+  EXPECT_GE(http.pairs().size(), 20u);
+  EXPECT_LE(http.pairs().size(), 30u);
+  std::set<NodeId> servers;
+  for (const auto& [client, server] : http.pairs()) {
+    EXPECT_NE(client, server);
+    EXPECT_EQ(fx.net.node(client).kind, topology::NodeKind::Host);
+    EXPECT_EQ(fx.net.node(server).kind, topology::NodeKind::Host);
+    servers.insert(server);
+  }
+  EXPECT_EQ(servers.size(), 8u);
+
+  // Uniform popularity (exponent 0) gives exactly clients_per_server each.
+  params.zipf_exponent = 0;
+  const HttpBackground uniform(fx.net, params);
+  EXPECT_EQ(uniform.pairs().size(), 24u);
+}
+
+TEST(Http, ServerCountCappedByHosts) {
+  Fixture fx;  // 40 hosts
+  HttpParams params;
+  params.server_number = 500;
+  const HttpBackground http(fx.net, params);
+  std::set<NodeId> servers;
+  for (const auto& [c, s] : http.pairs()) servers.insert(s);
+  EXPECT_LE(servers.size(), 20u);  // at most half the hosts
+}
+
+TEST(Http, GeneratesLiveTraffic) {
+  Fixture fx;
+  HttpParams params;
+  params.server_number = 5;
+  params.clients_per_server = 2;
+  params.think_time_s = 2.0;
+  params.duration_s = 30.0;
+  const HttpBackground http(fx.net, params);
+  auto emu = fx.make_emulator();
+  http.install(emu);
+  emu.run(60.0);
+  const auto stats = emu.stats();
+  EXPECT_GT(stats.messages_sent, 10u);
+  EXPECT_GT(stats.bytes_delivered, 10 * params.request_size_bytes);
+}
+
+TEST(Http, PredictionCoversAllPairs) {
+  Fixture fx;
+  HttpParams params;
+  params.server_number = 4;
+  params.clients_per_server = 2;
+  const HttpBackground http(fx.net, params);
+  const auto flows = http.predicted_background(fx.net);
+  EXPECT_EQ(flows.size(), 2 * http.pairs().size());
+  for (const auto& flow : flows) EXPECT_GT(flow.volume, 0);
+}
+
+TEST(Scalapack, ScheduleShapes) {
+  Fixture fx;
+  ScalapackParams params;
+  params.matrix_n = 1000;
+  params.block_nb = 100;
+  const ScalapackApp app(fx.pick_hosts(4), params);
+  EXPECT_EQ(app.iterations(), 10);
+  // Panel sizes strictly decrease; compute decreases quadratically.
+  for (int k = 1; k < app.iterations(); ++k) {
+    EXPECT_LT(app.panel_bytes(k), app.panel_bytes(k - 1));
+    EXPECT_LT(app.compute_seconds(k), app.compute_seconds(k - 1));
+  }
+  double total = 0;
+  for (int k = 0; k < app.iterations(); ++k) total += app.compute_seconds(k);
+  EXPECT_NEAR(total, params.total_compute_s, 1e-6);
+}
+
+TEST(Scalapack, RunsToCompletionAndIsRegular) {
+  Fixture fx;
+  ScalapackParams params;
+  params.matrix_n = 600;
+  params.block_nb = 100;
+  params.total_compute_s = 20;
+  const ScalapackApp app(fx.pick_hosts(6), params);
+  auto emu = fx.make_emulator();
+  app.install(emu);
+  emu.run(500.0);
+  const auto stats = emu.stats();
+  // 6 iterations × (5 panels + 5 updates + 5 acks) + 5 batons.
+  EXPECT_EQ(stats.messages_sent, 6u * 15u + 5u);
+  EXPECT_EQ(stats.messages_delivered, stats.messages_sent);
+
+  // Regularity: every host's NetFlow load within 3x of the mean.
+  const auto& packets = emu.netflow().node_packets();
+  double mean = 0;
+  for (NodeId h : app.injection_points())
+    mean += packets[static_cast<std::size_t>(h)];
+  mean /= 6.0;
+  for (NodeId h : app.injection_points()) {
+    EXPECT_LT(packets[static_cast<std::size_t>(h)], mean * 3.0);
+    EXPECT_GT(packets[static_cast<std::size_t>(h)], mean / 3.0);
+  }
+}
+
+TEST(Workflow, GraphsValidate) {
+  Fixture fx;
+  const auto hosts = fx.pick_hosts(10);
+  GridNpbParams params;
+  for (const TaskGraph& graph :
+       {make_helical_chain(hosts, params),
+        make_visualization_pipeline(hosts, params),
+        make_mixed_bag(hosts, params)}) {
+    EXPECT_FALSE(graph.roots().empty());
+    EXPECT_GT(graph.total_bytes(), 0);
+    EXPECT_GT(graph.total_compute(), 0);
+  }
+}
+
+TEST(Workflow, HelicalChainIsAChain) {
+  Fixture fx;
+  const TaskGraph g = make_helical_chain(fx.pick_hosts(10), {});
+  EXPECT_EQ(g.tasks.size(), 9u);
+  EXPECT_EQ(g.roots().size(), 1u);
+  for (std::size_t t = 0; t + 1 < g.tasks.size(); ++t)
+    ASSERT_EQ(g.tasks[t].outputs.size(), 1u);
+  EXPECT_TRUE(g.tasks.back().outputs.empty());
+}
+
+TEST(Workflow, SingleGraphRunsToCompletion) {
+  Fixture fx;
+  GridNpbParams params;
+  params.unit_compute_s = 0.5;
+  params.unit_bytes = 50e3;
+  const TaskGraph graph = make_helical_chain(fx.pick_hosts(10), params);
+  WorkflowApp app(graph, 60.0);
+  auto emu = fx.make_emulator();
+  app.install(emu);
+  emu.run(200.0);
+  // The chain crosses hosts 8 times; every cross-host edge is one message.
+  int cross = 0;
+  for (const auto& task : graph.tasks)
+    for (const auto& [succ, bytes] : task.outputs)
+      if (graph.tasks[static_cast<std::size_t>(succ)].host != task.host)
+        ++cross;
+  EXPECT_EQ(emu.stats().messages_sent, static_cast<std::uint64_t>(cross));
+  EXPECT_EQ(emu.stats().messages_delivered, emu.stats().messages_sent);
+}
+
+TEST(Workflow, CombinedGridNpbCompletesAllRounds) {
+  Fixture fx;
+  GridNpbParams params;
+  params.rounds = 3;
+  params.unit_compute_s = 0.3;
+  params.unit_bytes = 30e3;
+  const WorkflowApp app = make_gridnpb(fx.pick_hosts(12), params);
+  auto emu = fx.make_emulator();
+  app.install(emu);
+  emu.run(1000.0);
+  // Every cross-host edge fires exactly once.
+  const TaskGraph& graph = app.graph();
+  std::uint64_t cross = 0;
+  for (const auto& task : graph.tasks)
+    for (const auto& [succ, bytes] : task.outputs)
+      if (graph.tasks[static_cast<std::size_t>(succ)].host != task.host)
+        ++cross;
+  EXPECT_EQ(emu.stats().messages_sent, cross);
+  EXPECT_EQ(emu.stats().messages_delivered, cross);
+}
+
+TEST(Workflow, IrregularAcrossHosts) {
+  // GridNPB's per-host load spread is much wider than ScaLapack's — the
+  // property §4.2.1 builds on.
+  Fixture fx;
+  GridNpbParams params;
+  params.rounds = 2;
+  params.unit_compute_s = 0.2;
+  params.unit_bytes = 40e3;
+  const WorkflowApp app = make_gridnpb(fx.pick_hosts(12), params);
+  auto emu = fx.make_emulator();
+  app.install(emu);
+  emu.run(1000.0);
+  const auto& packets = emu.netflow().node_packets();
+  double mn = 1e18, mx = 0;
+  for (NodeId h : app.injection_points()) {
+    mn = std::min(mn, packets[static_cast<std::size_t>(h)]);
+    mx = std::max(mx, packets[static_cast<std::size_t>(h)]);
+  }
+  EXPECT_GT(mx, 3 * std::max(mn, 1.0));  // lopsided by design
+}
+
+TEST(Cbr, SteadyRateAndPrediction) {
+  Fixture fx;
+  const auto hosts = fx.pick_hosts(4);
+  std::vector<CbrFlowSpec> specs{{hosts[0], hosts[1], 15000, 0.5, 0},
+                                 {hosts[2], hosts[3], 3000, 0.25, 0}};
+  CbrParams params;
+  params.duration_s = 20;
+  const CbrTraffic cbr(specs, params);
+  auto emu = fx.make_emulator();
+  cbr.install(emu);
+  emu.run(60.0);
+  // Flow 1: ~40 messages, flow 2: ~80 messages.
+  EXPECT_NEAR(static_cast<double>(emu.stats().messages_sent), 120.0, 15.0);
+  const auto flows = cbr.predicted_background(fx.net);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_NEAR(flows[0].volume, 15000 / 1500.0 / 0.5, 1e-9);
+}
+
+TEST(Cbr, RejectsInvalidSpecs) {
+  Fixture fx;
+  const auto hosts = fx.pick_hosts(2);
+  EXPECT_THROW(CbrTraffic({{hosts[0], hosts[0], 100, 1, 0}}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(CbrTraffic({{hosts[0], hosts[1], 0, 1, 0}}, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace massf::traffic
