@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lookahead.dir/bench_ablation_lookahead.cpp.o"
+  "CMakeFiles/bench_ablation_lookahead.dir/bench_ablation_lookahead.cpp.o.d"
+  "CMakeFiles/bench_ablation_lookahead.dir/common.cpp.o"
+  "CMakeFiles/bench_ablation_lookahead.dir/common.cpp.o.d"
+  "bench_ablation_lookahead"
+  "bench_ablation_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

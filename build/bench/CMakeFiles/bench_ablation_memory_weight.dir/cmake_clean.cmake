@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_memory_weight.dir/bench_ablation_memory_weight.cpp.o"
+  "CMakeFiles/bench_ablation_memory_weight.dir/bench_ablation_memory_weight.cpp.o.d"
+  "CMakeFiles/bench_ablation_memory_weight.dir/common.cpp.o"
+  "CMakeFiles/bench_ablation_memory_weight.dir/common.cpp.o.d"
+  "bench_ablation_memory_weight"
+  "bench_ablation_memory_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memory_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_priority_ratio.dir/bench_ablation_priority_ratio.cpp.o"
+  "CMakeFiles/bench_ablation_priority_ratio.dir/bench_ablation_priority_ratio.cpp.o.d"
+  "CMakeFiles/bench_ablation_priority_ratio.dir/common.cpp.o"
+  "CMakeFiles/bench_ablation_priority_ratio.dir/common.cpp.o.d"
+  "bench_ablation_priority_ratio"
+  "bench_ablation_priority_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_priority_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

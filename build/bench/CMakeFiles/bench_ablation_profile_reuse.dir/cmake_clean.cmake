@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_profile_reuse.dir/bench_ablation_profile_reuse.cpp.o"
+  "CMakeFiles/bench_ablation_profile_reuse.dir/bench_ablation_profile_reuse.cpp.o.d"
+  "CMakeFiles/bench_ablation_profile_reuse.dir/common.cpp.o"
+  "CMakeFiles/bench_ablation_profile_reuse.dir/common.cpp.o.d"
+  "bench_ablation_profile_reuse"
+  "bench_ablation_profile_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_profile_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_replay_gridnpb.dir/bench_fig10_replay_gridnpb.cpp.o"
+  "CMakeFiles/bench_fig10_replay_gridnpb.dir/bench_fig10_replay_gridnpb.cpp.o.d"
+  "CMakeFiles/bench_fig10_replay_gridnpb.dir/common.cpp.o"
+  "CMakeFiles/bench_fig10_replay_gridnpb.dir/common.cpp.o.d"
+  "bench_fig10_replay_gridnpb"
+  "bench_fig10_replay_gridnpb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_replay_gridnpb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_load_variation.dir/bench_fig2_load_variation.cpp.o"
+  "CMakeFiles/bench_fig2_load_variation.dir/bench_fig2_load_variation.cpp.o.d"
+  "CMakeFiles/bench_fig2_load_variation.dir/common.cpp.o"
+  "CMakeFiles/bench_fig2_load_variation.dir/common.cpp.o.d"
+  "bench_fig2_load_variation"
+  "bench_fig2_load_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_load_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_imbalance_scalapack.dir/bench_fig4_imbalance_scalapack.cpp.o"
+  "CMakeFiles/bench_fig4_imbalance_scalapack.dir/bench_fig4_imbalance_scalapack.cpp.o.d"
+  "CMakeFiles/bench_fig4_imbalance_scalapack.dir/common.cpp.o"
+  "CMakeFiles/bench_fig4_imbalance_scalapack.dir/common.cpp.o.d"
+  "bench_fig4_imbalance_scalapack"
+  "bench_fig4_imbalance_scalapack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_imbalance_scalapack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_imbalance_gridnpb.dir/bench_fig5_imbalance_gridnpb.cpp.o"
+  "CMakeFiles/bench_fig5_imbalance_gridnpb.dir/bench_fig5_imbalance_gridnpb.cpp.o.d"
+  "CMakeFiles/bench_fig5_imbalance_gridnpb.dir/common.cpp.o"
+  "CMakeFiles/bench_fig5_imbalance_gridnpb.dir/common.cpp.o.d"
+  "bench_fig5_imbalance_gridnpb"
+  "bench_fig5_imbalance_gridnpb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_imbalance_gridnpb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

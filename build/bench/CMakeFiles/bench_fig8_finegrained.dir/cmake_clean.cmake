@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_finegrained.dir/bench_fig8_finegrained.cpp.o"
+  "CMakeFiles/bench_fig8_finegrained.dir/bench_fig8_finegrained.cpp.o.d"
+  "CMakeFiles/bench_fig8_finegrained.dir/common.cpp.o"
+  "CMakeFiles/bench_fig8_finegrained.dir/common.cpp.o.d"
+  "bench_fig8_finegrained"
+  "bench_fig8_finegrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_finegrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

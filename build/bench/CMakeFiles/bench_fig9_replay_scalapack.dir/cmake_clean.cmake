@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_replay_scalapack.dir/bench_fig9_replay_scalapack.cpp.o"
+  "CMakeFiles/bench_fig9_replay_scalapack.dir/bench_fig9_replay_scalapack.cpp.o.d"
+  "CMakeFiles/bench_fig9_replay_scalapack.dir/common.cpp.o"
+  "CMakeFiles/bench_fig9_replay_scalapack.dir/common.cpp.o.d"
+  "bench_fig9_replay_scalapack"
+  "bench_fig9_replay_scalapack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_replay_scalapack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_partitioner.dir/bench_micro_partitioner.cpp.o"
+  "CMakeFiles/bench_micro_partitioner.dir/bench_micro_partitioner.cpp.o.d"
+  "bench_micro_partitioner"
+  "bench_micro_partitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_topologies.cpp" "bench/CMakeFiles/bench_table1_topologies.dir/bench_table1_topologies.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_topologies.dir/bench_table1_topologies.cpp.o.d"
+  "/root/repo/bench/common.cpp" "bench/CMakeFiles/bench_table1_topologies.dir/common.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_topologies.dir/common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/massf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/massf_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/massf_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/massf_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/massf_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/massf_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/massf_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/massf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/massf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_web.dir/campus_web.cpp.o"
+  "CMakeFiles/campus_web.dir/campus_web.cpp.o.d"
+  "campus_web"
+  "campus_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

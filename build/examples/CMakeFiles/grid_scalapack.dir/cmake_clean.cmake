@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_scalapack.dir/grid_scalapack.cpp.o"
+  "CMakeFiles/grid_scalapack.dir/grid_scalapack.cpp.o.d"
+  "grid_scalapack"
+  "grid_scalapack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_scalapack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

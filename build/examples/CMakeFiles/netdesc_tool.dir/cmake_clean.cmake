@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netdesc_tool.dir/netdesc_tool.cpp.o"
+  "CMakeFiles/netdesc_tool.dir/netdesc_tool.cpp.o.d"
+  "netdesc_tool"
+  "netdesc_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netdesc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_gridnpb.dir/workflow_gridnpb.cpp.o"
+  "CMakeFiles/workflow_gridnpb.dir/workflow_gridnpb.cpp.o.d"
+  "workflow_gridnpb"
+  "workflow_gridnpb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_gridnpb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

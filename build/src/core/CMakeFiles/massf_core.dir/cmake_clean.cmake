@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_core.dir/cluster.cpp.o"
+  "CMakeFiles/massf_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/massf_core.dir/mapper.cpp.o"
+  "CMakeFiles/massf_core.dir/mapper.cpp.o.d"
+  "CMakeFiles/massf_core.dir/pipeline.cpp.o"
+  "CMakeFiles/massf_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/massf_core.dir/weights.cpp.o"
+  "CMakeFiles/massf_core.dir/weights.cpp.o.d"
+  "libmassf_core.a"
+  "libmassf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_des.dir/kernel.cpp.o"
+  "CMakeFiles/massf_des.dir/kernel.cpp.o.d"
+  "libmassf_des.a"
+  "libmassf_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

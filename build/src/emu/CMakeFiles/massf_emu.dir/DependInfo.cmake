@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emu/emulator.cpp" "src/emu/CMakeFiles/massf_emu.dir/emulator.cpp.o" "gcc" "src/emu/CMakeFiles/massf_emu.dir/emulator.cpp.o.d"
+  "/root/repo/src/emu/icmp.cpp" "src/emu/CMakeFiles/massf_emu.dir/icmp.cpp.o" "gcc" "src/emu/CMakeFiles/massf_emu.dir/icmp.cpp.o.d"
+  "/root/repo/src/emu/netflow.cpp" "src/emu/CMakeFiles/massf_emu.dir/netflow.cpp.o" "gcc" "src/emu/CMakeFiles/massf_emu.dir/netflow.cpp.o.d"
+  "/root/repo/src/emu/trace.cpp" "src/emu/CMakeFiles/massf_emu.dir/trace.cpp.o" "gcc" "src/emu/CMakeFiles/massf_emu.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/massf_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/massf_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/massf_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/massf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/massf_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_emu.dir/emulator.cpp.o"
+  "CMakeFiles/massf_emu.dir/emulator.cpp.o.d"
+  "CMakeFiles/massf_emu.dir/icmp.cpp.o"
+  "CMakeFiles/massf_emu.dir/icmp.cpp.o.d"
+  "CMakeFiles/massf_emu.dir/netflow.cpp.o"
+  "CMakeFiles/massf_emu.dir/netflow.cpp.o.d"
+  "CMakeFiles/massf_emu.dir/trace.cpp.o"
+  "CMakeFiles/massf_emu.dir/trace.cpp.o.d"
+  "libmassf_emu.a"
+  "libmassf_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/massf_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/massf_graph.dir/graph.cpp.o"
+  "CMakeFiles/massf_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/massf_graph.dir/graph_io.cpp.o"
+  "CMakeFiles/massf_graph.dir/graph_io.cpp.o.d"
+  "CMakeFiles/massf_graph.dir/maxflow.cpp.o"
+  "CMakeFiles/massf_graph.dir/maxflow.cpp.o.d"
+  "libmassf_graph.a"
+  "libmassf_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/baselines.cpp" "src/partition/CMakeFiles/massf_partition.dir/baselines.cpp.o" "gcc" "src/partition/CMakeFiles/massf_partition.dir/baselines.cpp.o.d"
+  "/root/repo/src/partition/coarsen.cpp" "src/partition/CMakeFiles/massf_partition.dir/coarsen.cpp.o" "gcc" "src/partition/CMakeFiles/massf_partition.dir/coarsen.cpp.o.d"
+  "/root/repo/src/partition/initial.cpp" "src/partition/CMakeFiles/massf_partition.dir/initial.cpp.o" "gcc" "src/partition/CMakeFiles/massf_partition.dir/initial.cpp.o.d"
+  "/root/repo/src/partition/multilevel.cpp" "src/partition/CMakeFiles/massf_partition.dir/multilevel.cpp.o" "gcc" "src/partition/CMakeFiles/massf_partition.dir/multilevel.cpp.o.d"
+  "/root/repo/src/partition/multiobjective.cpp" "src/partition/CMakeFiles/massf_partition.dir/multiobjective.cpp.o" "gcc" "src/partition/CMakeFiles/massf_partition.dir/multiobjective.cpp.o.d"
+  "/root/repo/src/partition/quality.cpp" "src/partition/CMakeFiles/massf_partition.dir/quality.cpp.o" "gcc" "src/partition/CMakeFiles/massf_partition.dir/quality.cpp.o.d"
+  "/root/repo/src/partition/refine.cpp" "src/partition/CMakeFiles/massf_partition.dir/refine.cpp.o" "gcc" "src/partition/CMakeFiles/massf_partition.dir/refine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/massf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/massf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_partition.dir/baselines.cpp.o"
+  "CMakeFiles/massf_partition.dir/baselines.cpp.o.d"
+  "CMakeFiles/massf_partition.dir/coarsen.cpp.o"
+  "CMakeFiles/massf_partition.dir/coarsen.cpp.o.d"
+  "CMakeFiles/massf_partition.dir/initial.cpp.o"
+  "CMakeFiles/massf_partition.dir/initial.cpp.o.d"
+  "CMakeFiles/massf_partition.dir/multilevel.cpp.o"
+  "CMakeFiles/massf_partition.dir/multilevel.cpp.o.d"
+  "CMakeFiles/massf_partition.dir/multiobjective.cpp.o"
+  "CMakeFiles/massf_partition.dir/multiobjective.cpp.o.d"
+  "CMakeFiles/massf_partition.dir/quality.cpp.o"
+  "CMakeFiles/massf_partition.dir/quality.cpp.o.d"
+  "CMakeFiles/massf_partition.dir/refine.cpp.o"
+  "CMakeFiles/massf_partition.dir/refine.cpp.o.d"
+  "libmassf_partition.a"
+  "libmassf_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

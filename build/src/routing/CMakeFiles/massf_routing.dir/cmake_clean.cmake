@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_routing.dir/routing.cpp.o"
+  "CMakeFiles/massf_routing.dir/routing.cpp.o.d"
+  "libmassf_routing.a"
+  "libmassf_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

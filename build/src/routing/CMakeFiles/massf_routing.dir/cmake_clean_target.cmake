@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmassf_routing.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/brite.cpp" "src/topology/CMakeFiles/massf_topology.dir/brite.cpp.o" "gcc" "src/topology/CMakeFiles/massf_topology.dir/brite.cpp.o.d"
+  "/root/repo/src/topology/campus.cpp" "src/topology/CMakeFiles/massf_topology.dir/campus.cpp.o" "gcc" "src/topology/CMakeFiles/massf_topology.dir/campus.cpp.o.d"
+  "/root/repo/src/topology/netdesc.cpp" "src/topology/CMakeFiles/massf_topology.dir/netdesc.cpp.o" "gcc" "src/topology/CMakeFiles/massf_topology.dir/netdesc.cpp.o.d"
+  "/root/repo/src/topology/network.cpp" "src/topology/CMakeFiles/massf_topology.dir/network.cpp.o" "gcc" "src/topology/CMakeFiles/massf_topology.dir/network.cpp.o.d"
+  "/root/repo/src/topology/teragrid.cpp" "src/topology/CMakeFiles/massf_topology.dir/teragrid.cpp.o" "gcc" "src/topology/CMakeFiles/massf_topology.dir/teragrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/massf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/massf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

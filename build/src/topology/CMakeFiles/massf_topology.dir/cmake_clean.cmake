@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_topology.dir/brite.cpp.o"
+  "CMakeFiles/massf_topology.dir/brite.cpp.o.d"
+  "CMakeFiles/massf_topology.dir/campus.cpp.o"
+  "CMakeFiles/massf_topology.dir/campus.cpp.o.d"
+  "CMakeFiles/massf_topology.dir/netdesc.cpp.o"
+  "CMakeFiles/massf_topology.dir/netdesc.cpp.o.d"
+  "CMakeFiles/massf_topology.dir/network.cpp.o"
+  "CMakeFiles/massf_topology.dir/network.cpp.o.d"
+  "CMakeFiles/massf_topology.dir/teragrid.cpp.o"
+  "CMakeFiles/massf_topology.dir/teragrid.cpp.o.d"
+  "libmassf_topology.a"
+  "libmassf_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/cbr.cpp" "src/traffic/CMakeFiles/massf_traffic.dir/cbr.cpp.o" "gcc" "src/traffic/CMakeFiles/massf_traffic.dir/cbr.cpp.o.d"
+  "/root/repo/src/traffic/gridnpb.cpp" "src/traffic/CMakeFiles/massf_traffic.dir/gridnpb.cpp.o" "gcc" "src/traffic/CMakeFiles/massf_traffic.dir/gridnpb.cpp.o.d"
+  "/root/repo/src/traffic/http.cpp" "src/traffic/CMakeFiles/massf_traffic.dir/http.cpp.o" "gcc" "src/traffic/CMakeFiles/massf_traffic.dir/http.cpp.o.d"
+  "/root/repo/src/traffic/scalapack.cpp" "src/traffic/CMakeFiles/massf_traffic.dir/scalapack.cpp.o" "gcc" "src/traffic/CMakeFiles/massf_traffic.dir/scalapack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/emu/CMakeFiles/massf_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/massf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/massf_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/massf_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/massf_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/massf_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

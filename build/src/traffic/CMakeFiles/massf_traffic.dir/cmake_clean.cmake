@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_traffic.dir/cbr.cpp.o"
+  "CMakeFiles/massf_traffic.dir/cbr.cpp.o.d"
+  "CMakeFiles/massf_traffic.dir/gridnpb.cpp.o"
+  "CMakeFiles/massf_traffic.dir/gridnpb.cpp.o.d"
+  "CMakeFiles/massf_traffic.dir/http.cpp.o"
+  "CMakeFiles/massf_traffic.dir/http.cpp.o.d"
+  "CMakeFiles/massf_traffic.dir/scalapack.cpp.o"
+  "CMakeFiles/massf_traffic.dir/scalapack.cpp.o.d"
+  "libmassf_traffic.a"
+  "libmassf_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

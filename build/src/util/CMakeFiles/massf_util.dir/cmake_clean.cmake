@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_util.dir/csv.cpp.o"
+  "CMakeFiles/massf_util.dir/csv.cpp.o.d"
+  "CMakeFiles/massf_util.dir/log.cpp.o"
+  "CMakeFiles/massf_util.dir/log.cpp.o.d"
+  "CMakeFiles/massf_util.dir/stats.cpp.o"
+  "CMakeFiles/massf_util.dir/stats.cpp.o.d"
+  "CMakeFiles/massf_util.dir/string_util.cpp.o"
+  "CMakeFiles/massf_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/massf_util.dir/table.cpp.o"
+  "CMakeFiles/massf_util.dir/table.cpp.o.d"
+  "libmassf_util.a"
+  "libmassf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netflow.dir/test_netflow.cpp.o"
+  "CMakeFiles/test_netflow.dir/test_netflow.cpp.o.d"
+  "test_netflow"
+  "test_netflow.pdb"
+  "test_netflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
