@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Record the kernel microbenchmark to BENCH_kernel.json.
+#
+#   BUILD_DIR=build OUT=BENCH_kernel.json REPS=5 ./bench/run_kernel_bench.sh
+#
+# Writes google-benchmark JSON aggregates (median over REPS repetitions);
+# items_per_second is the events/sec figure. Run on an idle machine —
+# threaded benchmarks measure real time.
+set -eu
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_kernel.json}"
+REPS="${REPS:-5}"
+BIN="$BUILD_DIR/bench/bench_micro_kernel"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found or not executable." >&2
+  echo "Build it first: cmake -B $BUILD_DIR && cmake --build $BUILD_DIR --target bench_micro_kernel" >&2
+  exit 1
+fi
+
+exec "$BIN" \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json

@@ -6,22 +6,35 @@
 #include <cmath>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <type_traits>
 
 namespace massf::des {
 
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr std::uint64_t kHashSeed = 1469598103934665603ULL;
 
-std::uint64_t fnv_mix(std::uint64_t hash, std::uint64_t value) {
-  for (int byte = 0; byte < 8; ++byte) {
-    hash ^= (value >> (8 * byte)) & 0xffULL;
-    hash *= kFnvPrime;
-  }
+// Cap on the number of load-series buckets pre-reserved from the run
+// horizon: callers sometimes pass a generous end_time (run-until-quiet) and
+// reserving gigabytes for buckets that will never be touched helps nobody.
+constexpr std::size_t kMaxReservedBuckets = 1 << 16;
+
+// Bulk inbox appends below this size go through ordinary heap pushes; at or
+// above it (and when the batch is a sizable fraction of the queue) a single
+// make_heap rebuild is cheaper than m * log(n) sift-ups.
+constexpr std::size_t kHeapifyThreshold = 8;
+
+// One step of the per-LP history stream hash: xor-in then a splitmix64-style
+// finalizer round. Runs twice per executed event, so it must be a handful of
+// instructions — the byte-granular FNV-1a it replaced cost 16 multiplies per
+// event on the hot path.
+std::uint64_t hash_mix(std::uint64_t hash, std::uint64_t value) {
+  hash ^= value;
+  hash *= 0xff51afd7ed558ccdULL;
+  hash ^= hash >> 33;
   return hash;
 }
 
@@ -47,12 +60,23 @@ std::vector<double> KernelStats::loads() const {
 }
 
 struct Kernel::Impl {
+  /// One scheduled event, 48 trivially-copyable bytes. Tagged by `cb`:
+  /// null marks a typed packet event whose POD payload is dispatched to
+  /// the registered EventSink; otherwise `cb` boxes the generic Callback
+  /// fallback used for app/endpoint work. The box is a raw owning pointer,
+  /// not unique_ptr, so the struct stays trivially copyable — heap sifts
+  /// (the single hottest operation in the kernel) then move events by
+  /// plain memcpy. Ownership is simple because every event has exactly one
+  /// terminal: execute_event() deletes the box after invoking it, and
+  /// ~Impl() sweeps events still sitting in queues/outboxes.
   struct Event {
     SimTime t;
     std::uint32_t origin;
     std::uint64_t seq;
-    Callback fn;
+    PacketEvent packet;
+    Callback* cb;
   };
+  static_assert(std::is_trivially_copyable_v<Event>);
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
       if (a.t != b.t) return a.t > b.t;
@@ -61,16 +85,66 @@ struct Kernel::Impl {
     }
   };
 
+  /// Pending-event queue over the (t, origin, seq) total order. Replaces
+  /// std::priority_queue so the drain phase can append a window's incoming
+  /// batch in bulk, and so pop() can move events out without the const_cast
+  /// dance. Two representations of the same set:
+  ///
+  ///   * heap mode (default): binary min-time heap, O(log n) push/pop;
+  ///   * sorted mode: descending (t, origin, seq) array popped from the
+  ///     back in O(1) — entered when a bulk drain lands in an empty queue
+  ///     (the common case for remote-hop traffic, where a window consumes
+  ///     exactly the batch the previous window delivered). The first push
+  ///     re-heapifies the remainder, so mid-window rescheduling stays
+  ///     correct.
+  ///
+  /// Every event is unique under the total order, so the pop sequence is
+  /// the sorted sequence in either representation; determinism is
+  /// layout-independent.
+  struct EventHeap {
+    std::vector<Event> v;
+    bool sorted = false;
+
+    bool empty() const { return v.empty(); }
+    std::size_t size() const { return v.size(); }
+    const Event& top() const { return sorted ? v.back() : v.front(); }
+    void push(Event e) {
+      to_heap();
+      v.push_back(std::move(e));
+      std::push_heap(v.begin(), v.end(), EventLater{});
+    }
+    Event pop() {
+      if (!sorted) std::pop_heap(v.begin(), v.end(), EventLater{});
+      Event e = std::move(v.back());
+      v.pop_back();
+      if (v.empty()) sorted = false;
+      return e;
+    }
+    void to_heap() {
+      if (!sorted) return;
+      std::make_heap(v.begin(), v.end(), EventLater{});
+      sorted = false;
+    }
+  };
+
   struct Lp {
-    std::priority_queue<Event, std::vector<Event>, EventLater> queue;
+    EventHeap queue;
     std::uint64_t seq_counter = 0;
     std::vector<std::vector<Event>> outbox;  // one slot per destination LP
+    /// Destinations whose outbox slot became non-empty this window; flushed
+    /// into the receivers' pending_sources at the window barrier so the
+    /// drain phase only visits live sender/receiver pairs instead of
+    /// scanning all k^2 slots.
+    std::vector<std::uint32_t> dirty_dsts;
+    /// Sources with output waiting for this LP (ascending; written
+    /// single-threaded at the barrier, read by this LP's drain).
+    std::vector<std::uint32_t> pending_sources;
     double window_busy = 0;
     std::uint64_t events = 0;
     double busy_total = 0;
     std::uint64_t remote_sent = 0;
     std::uint64_t remote_received = 0;
-    std::uint64_t history = kFnvOffset;
+    std::uint64_t history = kHashSeed;
     SimTime max_time = 0;
     SimTime published_next = Kernel::never();
     std::vector<double> series;  // event counts per sim-time bucket
@@ -82,48 +156,104 @@ struct Kernel::Impl {
     for (Lp& lp : lps) lp.outbox.resize(static_cast<std::size_t>(lp_count));
   }
 
+  ~Impl() {
+    // Events still pending when the kernel dies (end_time cutoffs) own
+    // their callback boxes; executed events already deleted theirs.
+    for (Lp& lp : lps) {
+      for (Event& e : lp.queue.v) delete e.cb;
+      for (auto& box : lp.outbox)
+        for (Event& e : box) delete e.cb;
+    }
+  }
+
   /// Run one LP's events with t < window_end; `execute` performs accounting
-  /// and invokes the callback.
+  /// and dispatches the event.
   template <typename ExecuteFn>
   static void process_window(Lp& lp, SimTime window_end, ExecuteFn&& execute) {
     while (!lp.queue.empty() && lp.queue.top().t < window_end) {
-      // top() is const; move the callback out before popping (safe: the
-      // element is discarded by the pop that immediately follows).
-      auto& slot = const_cast<Event&>(lp.queue.top());
-      Event event{slot.t, slot.origin, slot.seq, std::move(slot.fn)};
-      lp.queue.pop();
+      Event event = lp.queue.pop();
       execute(event);
     }
   }
 
-  /// Shared per-event accounting + callback invocation.
+  /// Shared per-event accounting + dispatch (sink for packet events,
+  /// callback otherwise). `inv_bucket_width` is the precomputed reciprocal:
+  /// a multiply here instead of a divide per event.
   void execute_event(Lp& lp, Event& e, double per_event_cost,
-                     double bucket_width) {
+                     double inv_bucket_width, EventSink* sink) {
     tl_now = e.t;
     lp.window_busy += per_event_cost;
     ++lp.events;
     lp.max_time = std::max(lp.max_time, e.t);
-    lp.history = fnv_mix(lp.history, time_bits(e.t));
-    lp.history = fnv_mix(
+    lp.history = hash_mix(lp.history, time_bits(e.t));
+    lp.history = hash_mix(
         lp.history, (static_cast<std::uint64_t>(e.origin) << 32) ^ e.seq);
-    const auto bucket = static_cast<std::size_t>(e.t / bucket_width);
+    const auto bucket = static_cast<std::size_t>(e.t * inv_bucket_width);
     if (lp.series.size() <= bucket) lp.series.resize(bucket + 1, 0.0);
     lp.series[bucket] += 1;
-    e.fn();
+    if (e.cb) {
+      const std::unique_ptr<Callback> owned(e.cb);  // delete even on throw
+      (*owned)();
+    } else {
+      sink->on_packet_event(e.packet);
+    }
   }
 
-  /// Deliver every source's outbox slot for `dst` into dst's queue.
+  /// Route every sender's dirty destination list into the receivers'
+  /// pending_sources. Must run single-threaded (sequential inter-phase, or
+  /// the barrier completion function in threaded mode); iterating senders
+  /// in index order keeps pending_sources ascending in both modes.
+  void flush_dirty_senders() {
+    for (std::size_t s = 0; s < lps.size(); ++s) {
+      Lp& sender = lps[s];
+      for (std::uint32_t dst : sender.dirty_dsts)
+        lps[dst].pending_sources.push_back(static_cast<std::uint32_t>(s));
+      sender.dirty_dsts.clear();
+    }
+  }
+
+  /// Deliver pending outbox slots into dst's queue. Only senders recorded
+  /// in pending_sources are visited; large batches append raw and then
+  /// sort (empty queue) or heapify once instead of sifting event-by-event.
   void drain_inboxes(std::size_t dst, double per_remote_cost) {
     Lp& receiver = lps[dst];
-    for (auto& source : lps) {
-      auto& box = source.outbox[dst];
+    if (receiver.pending_sources.empty()) return;
+    std::size_t incoming = 0;
+    for (std::uint32_t src : receiver.pending_sources)
+      incoming += lps[src].outbox[dst].size();
+    EventHeap& queue = receiver.queue;
+    // Bulk append+rebuild only pays when the batch dominates the queue:
+    // rebuilding costs O(old + new) while appending costs O(new log n) —
+    // and in practice far less, because drained remote events carry
+    // later timestamps than the locals already queued and sift-up exits
+    // almost immediately.
+    const bool was_empty = queue.empty();
+    const bool bulk =
+        incoming >= kHeapifyThreshold && (was_empty || incoming > queue.size());
+    for (std::uint32_t src : receiver.pending_sources) {
+      auto& box = lps[src].outbox[dst];
       for (auto& event : box) {
-        receiver.window_busy += per_remote_cost;
-        ++receiver.remote_received;
-        receiver.queue.push(std::move(event));
+        if (bulk)
+          queue.v.push_back(std::move(event));
+        else
+          queue.push(std::move(event));
       }
       box.clear();
     }
+    if (bulk) {
+      if (was_empty) {
+        // The whole batch in one sorted run: O(1) pops next window.
+        std::sort(queue.v.begin(), queue.v.end(), EventLater{});
+        queue.sorted = true;
+      } else {
+        // Rebuild over old contents + appendees, whichever mode held.
+        queue.sorted = false;
+        std::make_heap(queue.v.begin(), queue.v.end(), EventLater{});
+      }
+    }
+    receiver.window_busy += per_remote_cost * static_cast<double>(incoming);
+    receiver.remote_received += incoming;
+    receiver.pending_sources.clear();
   }
 };
 
@@ -149,10 +279,17 @@ void Kernel::set_bucket_width(double width) {
   stats_.bucket_width = width;
 }
 
-void Kernel::schedule(int lp, SimTime t, Callback fn) {
-  MASSF_REQUIRE(lp >= 0 && lp < lp_count_, "LP index out of range");
+void Kernel::set_event_sink(EventSink* sink) {
+  MASSF_REQUIRE(sink != nullptr, "event sink must not be null");
+  sink_ = sink;
+}
+
+namespace {
+
+/// Shared validation for local scheduling (schedule / schedule_packet).
+void check_local_target(int lp, int lp_count, SimTime t) {
+  MASSF_REQUIRE(lp >= 0 && lp < lp_count, "LP index out of range");
   MASSF_REQUIRE(std::isfinite(t) && t >= 0, "event time must be finite, >=0");
-  MASSF_REQUIRE(fn, "event callback must be callable");
   if (tl_current_lp >= 0) {
     MASSF_REQUIRE(lp == tl_current_lp,
                   "during execution, schedule() may only target the "
@@ -160,26 +297,65 @@ void Kernel::schedule(int lp, SimTime t, Callback fn) {
     MASSF_REQUIRE(t >= tl_now, "cannot schedule into the past (t="
                                    << t << " < now=" << tl_now << ")");
   }
+}
+
+/// Shared validation for remote scheduling.
+void check_remote_target(int to_lp, int lp_count, SimTime t,
+                         double lookahead) {
+  MASSF_REQUIRE(tl_current_lp >= 0,
+                "schedule_remote may only be called from an executing event");
+  MASSF_REQUIRE(to_lp >= 0 && to_lp < lp_count, "LP index out of range");
+  // Conservative safety: the receiver may already be executing events up to
+  // now + lookahead. A tiny epsilon absorbs floating-point latency sums.
+  MASSF_REQUIRE(t >= tl_now + lookahead - 1e-12,
+                "remote event at t=" << t << " violates lookahead (now="
+                                     << tl_now << ", lookahead=" << lookahead
+                                     << ")");
+}
+
+}  // namespace
+
+void Kernel::schedule(int lp, SimTime t, Callback fn) {
+  check_local_target(lp, lp_count_, t);
+  MASSF_REQUIRE(fn, "event callback must be callable");
   Impl::Lp& state = impl_->lps[static_cast<std::size_t>(lp)];
-  state.queue.push(
-      {t, static_cast<std::uint32_t>(lp), state.seq_counter++, std::move(fn)});
+  state.queue.push({t, static_cast<std::uint32_t>(lp), state.seq_counter++,
+                    PacketEvent{}, new Callback(std::move(fn))});
+}
+
+void Kernel::schedule_packet(int lp, SimTime t, PacketEvent event) {
+  check_local_target(lp, lp_count_, t);
+  MASSF_REQUIRE(sink_ != nullptr,
+                "register an EventSink before scheduling packet events");
+  Impl::Lp& state = impl_->lps[static_cast<std::size_t>(lp)];
+  state.queue.push({t, static_cast<std::uint32_t>(lp), state.seq_counter++,
+                    event, nullptr});
 }
 
 void Kernel::schedule_remote(int to_lp, SimTime t, Callback fn) {
-  MASSF_REQUIRE(tl_current_lp >= 0,
-                "schedule_remote may only be called from an executing event");
-  MASSF_REQUIRE(to_lp >= 0 && to_lp < lp_count_, "LP index out of range");
+  check_remote_target(to_lp, lp_count_, t, lookahead_);
   MASSF_REQUIRE(fn, "event callback must be callable");
-  // Conservative safety: the receiver may already be executing events up to
-  // now + lookahead. A tiny epsilon absorbs floating-point latency sums.
-  MASSF_REQUIRE(t >= tl_now + lookahead_ - 1e-12,
-                "remote event at t=" << t << " violates lookahead (now="
-                                     << tl_now << ", lookahead=" << lookahead_
-                                     << ")");
   Impl::Lp& sender = impl_->lps[static_cast<std::size_t>(tl_current_lp)];
-  sender.outbox[static_cast<std::size_t>(to_lp)].push_back(
-      {t, static_cast<std::uint32_t>(tl_current_lp), sender.seq_counter++,
-       std::move(fn)});
+  auto& box = sender.outbox[static_cast<std::size_t>(to_lp)];
+  if (box.empty())
+    sender.dirty_dsts.push_back(static_cast<std::uint32_t>(to_lp));
+  box.push_back({t, static_cast<std::uint32_t>(tl_current_lp),
+                 sender.seq_counter++, PacketEvent{},
+                 new Callback(std::move(fn))});
+  sender.window_busy += cost_.per_remote_message;
+  ++sender.remote_sent;
+}
+
+void Kernel::schedule_packet_remote(int to_lp, SimTime t, PacketEvent event) {
+  check_remote_target(to_lp, lp_count_, t, lookahead_);
+  MASSF_REQUIRE(sink_ != nullptr,
+                "register an EventSink before scheduling packet events");
+  Impl::Lp& sender = impl_->lps[static_cast<std::size_t>(tl_current_lp)];
+  auto& box = sender.outbox[static_cast<std::size_t>(to_lp)];
+  if (box.empty())
+    sender.dirty_dsts.push_back(static_cast<std::uint32_t>(to_lp));
+  box.push_back({t, static_cast<std::uint32_t>(tl_current_lp),
+                 sender.seq_counter++, event, nullptr});
   sender.window_busy += cost_.per_remote_message;
   ++sender.remote_sent;
 }
@@ -189,6 +365,17 @@ void Kernel::run_until(SimTime end_time, ExecutionMode mode) {
   MASSF_REQUIRE(end_time > 0, "end time must be positive");
   MASSF_REQUIRE(tl_current_lp < 0, "run_until cannot be nested");
   ran_ = true;
+
+  // Pre-reserve the load series from the run horizon (capped) so the
+  // per-event bucket append never reallocates mid-run.
+  const double horizon_buckets = end_time / stats_.bucket_width;
+  const auto reserve_buckets = static_cast<std::size_t>(std::min(
+      horizon_buckets + 1, static_cast<double>(kMaxReservedBuckets)));
+  for (auto& lp : impl_->lps) {
+    lp.series.reserve(reserve_buckets);
+    lp.pending_sources.reserve(static_cast<std::size_t>(lp_count_));
+  }
+
   if (mode == ExecutionMode::Sequential)
     run_sequential(end_time);
   else
@@ -217,6 +404,7 @@ void Kernel::run_until(SimTime end_time, ExecutionMode mode) {
 void Kernel::run_sequential(SimTime end_time) {
   auto& lps = impl_->lps;
   const auto k = static_cast<std::size_t>(lp_count_);
+  const double inv_bucket = 1.0 / stats_.bucket_width;
 
   while (true) {
     // Publish phase: earliest pending event across all LPs.
@@ -233,7 +421,7 @@ void Kernel::run_sequential(SimTime end_time) {
       tl_current_lp = static_cast<int>(i);
       Impl::Lp& lp = lps[i];
       Impl::process_window(lp, window_end, [&](Impl::Event& e) {
-        impl_->execute_event(lp, e, cost_.per_event, stats_.bucket_width);
+        impl_->execute_event(lp, e, cost_.per_event, inv_bucket, sink_);
       });
     }
     tl_current_lp = -1;
@@ -255,7 +443,9 @@ void Kernel::run_sequential(SimTime end_time) {
     }
 
     // Drain phase: deliver outboxes (the receive cost lands in the next
-    // window's busy time — that is where the work happens).
+    // window's busy time — that is where the work happens). Only pairs
+    // with actual traffic are visited.
+    impl_->flush_dirty_senders();
     for (std::size_t dst = 0; dst < k; ++dst)
       impl_->drain_inboxes(dst, cost_.per_remote_message);
   }
@@ -264,6 +454,7 @@ void Kernel::run_sequential(SimTime end_time) {
 void Kernel::run_threaded(SimTime end_time) {
   auto& lps = impl_->lps;
   const auto k = static_cast<std::size_t>(lp_count_);
+  const double inv_bucket = 1.0 / stats_.bucket_width;
 
   std::atomic<bool> stop{false};
   std::atomic<bool> failed{false};
@@ -281,7 +472,8 @@ void Kernel::run_threaded(SimTime end_time) {
     else
       window_end = std::min(global_min + lookahead_, end_time);
   };
-  // Barrier B (after processing): account the finished window.
+  // Barrier B (after processing): account the finished window and route
+  // dirty sender/destination pairs for the drain that follows.
   auto account = [&]() noexcept {
     double max_busy = 0;
     for (auto& lp : lps) max_busy = std::max(max_busy, lp.window_busy);
@@ -295,6 +487,7 @@ void Kernel::run_threaded(SimTime end_time) {
       lp.busy_total += lp.window_busy;
       lp.window_busy = 0;
     }
+    impl_->flush_dirty_senders();
   };
 
   std::barrier barrier_a(static_cast<std::ptrdiff_t>(k), decide);
@@ -314,7 +507,7 @@ void Kernel::run_threaded(SimTime end_time) {
         const SimTime limit = window_end;
         tl_current_lp = static_cast<int>(i);
         Impl::process_window(lp, limit, [&](Impl::Event& e) {
-          impl_->execute_event(lp, e, cost_.per_event, stats_.bucket_width);
+          impl_->execute_event(lp, e, cost_.per_event, inv_bucket, sink_);
         });
         tl_current_lp = -1;
         barrier_b.arrive_and_wait();

@@ -45,6 +45,26 @@ namespace massf::des {
 using SimTime = double;
 using Callback = std::function<void()>;
 
+/// POD payload of a packet-hop event: an opaque pool-owned record plus the
+/// node it arrives at. The kernel never inspects `payload`; it hands the
+/// record to the registered EventSink when the event fires. Carrying this
+/// inline keeps the per-hop hot path free of std::function heap churn —
+/// the paper's per-engine load is "essentially one kernel event per packet"
+/// (§4.1.1), so this is the cost that bounds emulation scale.
+struct PacketEvent {
+  void* payload = nullptr;
+  std::int32_t node = -1;
+};
+
+/// Receiver of packet-hop events (the emulator). Registered once before
+/// run_until(); invoked on the executing LP's thread with now() and
+/// current_lp() set, exactly like a Callback event. Must outlive the run.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_packet_event(const PacketEvent& event) = 0;
+};
+
 /// Per-operation costs (seconds of engine CPU) for the modeled emulation
 /// time. Defaults approximate the paper's 550 MHz PII engines on 100 Mb/s
 /// Ethernet: ~5 µs to process a packet event, ~20 µs to ship one across
@@ -85,8 +105,9 @@ struct KernelStats {
   /// figures (paper Figures 2 and 8).
   double bucket_width = 2.0;
   std::vector<std::vector<double>> load_series;
-  /// FNV-1a hash of each LP's executed (time, origin, seq) stream, XORed
-  /// across LPs; identical between Sequential and Threaded runs.
+  /// 64-bit stream hash (splitmix-style mix per event) of each LP's
+  /// executed (time, origin, seq) stream, XORed across LPs; identical
+  /// between Sequential and Threaded runs.
   std::uint64_t history_hash = 0;
 
   /// Per-LP event rates as doubles (for stats::normalized_imbalance).
@@ -123,6 +144,18 @@ class Kernel {
   /// this because cross-partition link latencies are >= lookahead).
   void schedule_remote(int to_lp, SimTime t, Callback fn);
 
+  /// Register the sink that receives packet events. Required before any
+  /// schedule_packet/schedule_packet_remote call; the sink is not owned.
+  void set_event_sink(EventSink* sink);
+  EventSink* event_sink() const { return sink_; }
+
+  /// Allocation-free variants of schedule/schedule_remote: the event
+  /// carries the POD PacketEvent inline instead of a heap-backed closure
+  /// and is dispatched to the registered EventSink. Same targeting and
+  /// lookahead rules as the Callback variants.
+  void schedule_packet(int lp, SimTime t, PacketEvent event);
+  void schedule_packet_remote(int to_lp, SimTime t, PacketEvent event);
+
   /// The LP whose event is currently executing on this thread (-1 outside
   /// event execution). Thread-local so it is correct in Threaded mode.
   int current_lp() const;
@@ -151,6 +184,7 @@ class Kernel {
   int lp_count_;
   double lookahead_;
   CostModel cost_;
+  EventSink* sink_ = nullptr;
   KernelStats stats_;
   SimTime sim_position_ = 0;  // sim time already charged to coupled_time
   bool ran_ = false;

@@ -20,16 +20,8 @@ namespace massf::emu {
 
 class Emulator;
 
-/// One application message (possibly many packet trains on the wire).
-struct AppMessage {
-  NodeId src = -1;
-  NodeId dst = -1;
-  double bytes = 0;
-  int tag = 0;
-  std::uint64_t id = 0;
-  SimTime sent_at = 0;
-  SimTime delivered_at = 0;
-};
+// AppMessage lives in emu/packet.hpp: the last train of a message embeds it
+// so delivery needs no per-message closure.
 
 /// Capability handle passed to endpoint upcalls; valid only for the
 /// duration of the upcall and only on the endpoint's host.

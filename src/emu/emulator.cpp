@@ -43,6 +43,7 @@ Emulator::Emulator(const topology::Network& network,
       engines_(engines),
       config_(config),
       lookahead_(0),
+      pool_(engines),
       host_state_(static_cast<std::size_t>(network.node_count())),
       link_next_free_(2 * static_cast<std::size_t>(network.link_count()), 0.0),
       link_drops_(2 * static_cast<std::size_t>(network.link_count()), 0) {
@@ -58,6 +59,7 @@ Emulator::Emulator(const topology::Network& network,
   lookahead_ = compute_lookahead();
   kernel_ = std::make_unique<des::Kernel>(engines_, lookahead_, config_.cost);
   kernel_->set_bucket_width(config_.bucket_width);
+  kernel_->set_event_sink(this);
   if (config_.collect_netflow)
     netflow_ = std::make_unique<NetFlowCollector>(
         network.node_count(), network.link_count(), config_.bucket_width);
@@ -120,7 +122,8 @@ std::uint64_t Emulator::send_message(NodeId src, NodeId dst, double bytes,
   if (recorder_ != nullptr)
     recorder_->on_send(src, dst, bytes, tag, message_id, at);
 
-  // Packetize into trains; the last train carries the delivery callback.
+  // Packetize into trains; the last train embeds the AppMessage that
+  // drives delivery bookkeeping at the destination.
   const double train_bytes = config_.mtu_bytes * config_.train_packets;
   const int total_packets =
       std::max(1, static_cast<int>(std::ceil(bytes / config_.mtu_bytes)));
@@ -128,33 +131,23 @@ std::uint64_t Emulator::send_message(NodeId src, NodeId dst, double bytes,
       std::max(1, static_cast<int>(std::ceil(bytes / train_bytes)));
   const std::uint64_t flow = flow_id(src, dst, tag);
 
+  const int shard = pool_shard();
   double remaining_bytes = bytes;
   int remaining_packets = total_packets;
   for (int i = 0; i < trains; ++i) {
-    Packet train;
-    train.src = src;
-    train.dst = dst;
-    train.kind = PacketKind::Data;
-    train.flow = flow;
+    Packet* train = pool_.acquire(shard);
+    train->src = src;
+    train->dst = dst;
+    train->kind = PacketKind::Data;
+    train->flow = flow;
     if (i + 1 < trains) {
-      train.bytes = train_bytes;
-      train.packets = config_.train_packets;
+      train->bytes = train_bytes;
+      train->packets = config_.train_packets;
     } else {
-      train.bytes = remaining_bytes;
-      train.packets = std::max(1, remaining_packets);
-      AppMessage message{src, dst, bytes, tag, message_id, at, 0};
-      train.on_delivered = [this, message](SimTime t) mutable {
-        message.delivered_at = t;
-        HostState& receiver =
-            host_state_[static_cast<std::size_t>(message.dst)];
-        ++receiver.messages_delivered;
-        receiver.bytes_delivered += message.bytes;
-        if (recorder_ != nullptr) recorder_->on_delivery(message, t);
-        if (receiver.endpoint != nullptr) {
-          AppApi api(*this, message.dst);
-          receiver.endpoint->receive(api, message);
-        }
-      };
+      train->bytes = remaining_bytes;
+      train->packets = std::max(1, remaining_packets);
+      train->has_message = true;
+      train->message = AppMessage{src, dst, bytes, tag, message_id, at, 0};
     }
     remaining_bytes -= train_bytes;
     remaining_packets -= config_.train_packets;
@@ -163,10 +156,7 @@ std::uint64_t Emulator::send_message(NodeId src, NodeId dst, double bytes,
     // injection overhead the paper measures "by the number of requests
     // coming from the application".
     ++sender.trains_injected;
-    kernel_->schedule(engine_of(src), at,
-                      [this, src, train = std::move(train)]() mutable {
-                        arrive(src, std::move(train));
-                      });
+    kernel_->schedule_packet(engine_of(src), at, {train, src});
   }
   return message_id;
 }
@@ -177,105 +167,124 @@ void Emulator::send_probe(NodeId src, NodeId dst, int ttl,
   MASSF_REQUIRE(dst >= 0 && dst < network_.node_count(), "dst out of range");
   MASSF_REQUIRE(src != dst, "probe src and dst must differ");
   MASSF_REQUIRE(ttl >= 1, "probe TTL must be >= 1");
-  Packet probe;
-  probe.src = src;
-  probe.dst = dst;
-  probe.bytes = 64;
-  probe.packets = 1;
-  probe.ttl = ttl;
-  probe.kind = PacketKind::IcmpEcho;
-  probe.flow = kIcmpFlowBase ^ probe_id;
-  probe.probe_id = probe_id;
+  Packet* probe = pool_.acquire(pool_shard());
+  probe->src = src;
+  probe->dst = dst;
+  probe->bytes = 64;
+  probe->packets = 1;
+  probe->ttl = ttl;
+  probe->kind = PacketKind::IcmpEcho;
+  probe->flow = kIcmpFlowBase ^ probe_id;
+  probe->probe_id = probe_id;
   ++host_state_[static_cast<std::size_t>(src)].trains_injected;
-  kernel_->schedule(engine_of(src), at,
-                    [this, src, probe = std::move(probe)]() mutable {
-                      arrive(src, std::move(probe));
-                    });
+  kernel_->schedule_packet(engine_of(src), at, {probe, src});
 }
 
-void Emulator::arrive(NodeId at, Packet packet) {
-  const SimTime t = kernel_->now();
-  if (netflow_) netflow_->record_node(at, packet, t);
+int Emulator::pool_shard() const {
+  const int lp = kernel_->current_lp();
+  return lp >= 0 ? lp : 0;
+}
 
-  if (at == packet.dst) {
-    deliver(at, packet, t);
+void Emulator::on_packet_event(const des::PacketEvent& event) {
+  arrive(event.node, static_cast<Packet*>(event.payload));
+}
+
+void Emulator::arrive(NodeId at, Packet* packet) {
+  const SimTime t = kernel_->now();
+  if (netflow_) netflow_->record_node(at, *packet, t);
+
+  if (at == packet->dst) {
+    deliver(at, *packet, t);
+    pool_.release(pool_shard(), packet);
     return;
   }
-  if (at != packet.src) {
+  if (at != packet->src) {
     // Forwarding at an intermediate node consumes TTL.
-    --packet.ttl;
-    if (packet.ttl <= 0) {
-      if (packet.kind == PacketKind::IcmpEcho) {
+    --packet->ttl;
+    if (packet->ttl <= 0) {
+      if (packet->kind == PacketKind::IcmpEcho) {
         // ICMP TTL-exceeded report back to the prober (the mechanism the
         // real traceroute relies on).
-        Packet report;
-        report.src = at;
-        report.dst = packet.src;
-        report.bytes = 64;
-        report.packets = 1;
-        report.ttl = 255;
-        report.kind = PacketKind::IcmpTtlExceeded;
-        report.flow = kIcmpFlowBase ^ packet.probe_id;
-        report.probe_id = packet.probe_id;
-        report.reporter = at;
-        transmit(at, std::move(report), t);
+        Packet* report = pool_.acquire(pool_shard());
+        report->src = at;
+        report->dst = packet->src;
+        report->bytes = 64;
+        report->packets = 1;
+        report->ttl = 255;
+        report->kind = PacketKind::IcmpTtlExceeded;
+        report->flow = kIcmpFlowBase ^ packet->probe_id;
+        report->probe_id = packet->probe_id;
+        report->reporter = at;
+        transmit(at, report, t);
       }
-      return;  // original packet dropped either way
+      // Original packet dropped either way.
+      pool_.release(pool_shard(), packet);
+      return;
     }
   }
-  transmit(at, std::move(packet), t);
+  transmit(at, packet, t);
 }
 
-void Emulator::transmit(NodeId from, Packet packet, SimTime t) {
-  const topology::LinkId link_id = routes_.next_link(from, packet.dst);
+void Emulator::transmit(NodeId from, Packet* packet, SimTime t) {
+  const topology::LinkId link_id = routes_.next_link(from, packet->dst);
   const topology::Link& link = network_.link(link_id);
   const int dir = link.a == from ? 0 : 1;
   const std::size_t slot =
       2 * static_cast<std::size_t>(link_id) + static_cast<std::size_t>(dir);
 
-  const double serialization = packet.bytes * 8.0 / link.bandwidth_bps;
+  const double serialization = packet->bytes * 8.0 / link.bandwidth_bps;
   const double depart = std::max(t, link_next_free_[slot]);
   if (depart - t > config_.max_queue_delay) {
     ++link_drops_[slot];
+    pool_.release(pool_shard(), packet);
     return;  // drop-tail
   }
   link_next_free_[slot] = depart + serialization;
   const SimTime arrival = depart + serialization + link.latency_s;
 
-  if (netflow_) netflow_->record_link(link_id, dir, packet);
+  if (netflow_) netflow_->record_link(link_id, dir, *packet);
 
   const NodeId to = link.a == from ? link.b : link.a;
   const int to_engine = engine_of(to);
-  auto event = [this, to, packet = std::move(packet)]() mutable {
-    arrive(to, std::move(packet));
-  };
   if (to_engine == engine_of(from))
-    kernel_->schedule(to_engine, arrival, std::move(event));
+    kernel_->schedule_packet(to_engine, arrival, {packet, to});
   else
-    kernel_->schedule_remote(to_engine, arrival, std::move(event));
+    kernel_->schedule_packet_remote(to_engine, arrival, {packet, to});
 }
 
-void Emulator::deliver(NodeId at, Packet& packet, SimTime t) {
+void Emulator::deliver(NodeId at, const Packet& packet, SimTime t) {
   HostState& state = host_state_[static_cast<std::size_t>(at)];
   ++state.trains_delivered;
 
   switch (packet.kind) {
     case PacketKind::Data:
-      if (packet.on_delivered) packet.on_delivered(t);
+      if (packet.has_message) {
+        AppMessage message = packet.message;
+        message.delivered_at = t;
+        HostState& receiver =
+            host_state_[static_cast<std::size_t>(message.dst)];
+        ++receiver.messages_delivered;
+        receiver.bytes_delivered += message.bytes;
+        if (recorder_ != nullptr) recorder_->on_delivery(message, t);
+        if (receiver.endpoint != nullptr) {
+          AppApi api(*this, message.dst);
+          receiver.endpoint->receive(api, message);
+        }
+      }
       break;
     case PacketKind::IcmpEcho: {
       // Destination answers the probe: echo reply back to the prober.
-      Packet reply;
-      reply.src = at;
-      reply.dst = packet.src;
-      reply.bytes = 64;
-      reply.packets = 1;
-      reply.ttl = 255;
-      reply.kind = PacketKind::IcmpEchoReply;
-      reply.flow = kIcmpFlowBase ^ packet.probe_id;
-      reply.probe_id = packet.probe_id;
-      reply.reporter = at;
-      transmit(at, std::move(reply), t);
+      Packet* reply = pool_.acquire(pool_shard());
+      reply->src = at;
+      reply->dst = packet.src;
+      reply->bytes = 64;
+      reply->packets = 1;
+      reply->ttl = 255;
+      reply->kind = PacketKind::IcmpEchoReply;
+      reply->flow = kIcmpFlowBase ^ packet.probe_id;
+      reply->probe_id = packet.probe_id;
+      reply->reporter = at;
+      transmit(at, reply, t);
       break;
     }
     case PacketKind::IcmpEchoReply:

@@ -61,7 +61,9 @@ struct EmulatorStats {
   double bytes_delivered = 0;
 };
 
-class Emulator {
+/// The emulator is the kernel's EventSink: every packet hop is a typed,
+/// allocation-free kernel event whose payload is a pool-owned Packet*.
+class Emulator : private des::EventSink {
  public:
   /// `node_engine[node]` = engine (LP) that emulates the node; values in
   /// [0, engines). The kernel lookahead is the minimum latency over links
@@ -121,6 +123,11 @@ class Emulator {
   /// Per-engine kernel event counts as doubles (the paper's load vector).
   std::vector<double> engine_loads() const { return kernel_stats().loads(); }
 
+  /// Packet slots ever materialized by the train pool — tracks the peak
+  /// number of simultaneously in-flight trains, far below the total train
+  /// count when recycling works (the allocation-free hot-path invariant).
+  std::size_t packet_pool_size() const { return pool_.allocated(); }
+
   /// Schedule arbitrary work on a host's engine (used by AppApi::after and
   /// the replayer). At setup time any host is allowed; during execution the
   /// host must live on the executing engine.
@@ -141,14 +148,23 @@ class Emulator {
     double bytes_delivered = 0;
   };
 
+  /// EventSink hook: dispatches the hop to arrive().
+  void on_packet_event(const des::PacketEvent& event) override;
+
   /// Kernel event: a packet train arrives at (or is injected on) a node.
-  void arrive(NodeId at, Packet packet);
+  /// Takes ownership of the pool-backed packet.
+  void arrive(NodeId at, Packet* packet);
 
-  /// Push a train onto the link toward packet.dst; schedules the next
-  /// arrive() or drops on queue overflow.
-  void transmit(NodeId from, Packet packet, SimTime t);
+  /// Push a train onto the link toward packet->dst; schedules the next
+  /// arrive() or releases the packet on drop-tail overflow. Takes
+  /// ownership.
+  void transmit(NodeId from, Packet* packet, SimTime t);
 
-  void deliver(NodeId at, Packet& packet, SimTime t);
+  void deliver(NodeId at, const Packet& packet, SimTime t);
+
+  /// The packet-pool shard owned by the calling thread: the executing
+  /// engine during a run, shard 0 during single-threaded setup.
+  int pool_shard() const;
 
   double compute_lookahead() const;
 
@@ -159,6 +175,7 @@ class Emulator {
   EmulatorConfig config_;
   double lookahead_;
   std::unique_ptr<des::Kernel> kernel_;
+  PacketPool pool_;
   std::unique_ptr<NetFlowCollector> netflow_;
   std::vector<HostState> host_state_;           // indexed by NodeId
   std::vector<double> link_next_free_;          // 2 per link (by direction)

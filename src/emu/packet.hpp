@@ -6,19 +6,37 @@
 // paper's per-engine load metric — "simulation kernel event rate,
 // essentially one per packet" — maps to train events here; NetFlow records
 // real packet counts so PROFILE weights stay in packet units.
+//
+// Packets are plain data and live in a PacketPool for the duration of a
+// hop chain: every hop is a des::PacketEvent carrying a Packet* into the
+// kernel, so the per-hop path performs no heap allocation (DESIGN.md
+// "Kernel hot path & event cost model").
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <deque>
+#include <vector>
 
 #include "des/kernel.hpp"
 #include "topology/network.hpp"
+#include "util/error.hpp"
 
 namespace massf::emu {
 
 using des::SimTime;
 using topology::LinkId;
 using topology::NodeId;
+
+/// One application message (possibly many packet trains on the wire).
+struct AppMessage {
+  NodeId src = -1;
+  NodeId dst = -1;
+  double bytes = 0;
+  int tag = 0;
+  std::uint64_t id = 0;
+  SimTime sent_at = 0;
+  SimTime delivered_at = 0;
+};
 
 enum class PacketKind : std::uint8_t {
   Data,             // application / background traffic
@@ -27,7 +45,10 @@ enum class PacketKind : std::uint8_t {
   IcmpTtlExceeded,  // router report: TTL expired here
 };
 
-/// One packet train traversing the virtual network.
+/// One packet train traversing the virtual network. Plain data — delivery
+/// of the last train of an application message is described by the embedded
+/// AppMessage instead of a closure, so trains recycle through the pool
+/// without ever touching the allocator.
 struct Packet {
   NodeId src = -1;
   NodeId dst = -1;
@@ -35,12 +56,65 @@ struct Packet {
   int packets = 1;       // real packets represented
   int ttl = 255;         // hop budget (ICMP traceroute uses small values)
   PacketKind kind = PacketKind::Data;
-  std::uint64_t flow = 0;     // NetFlow aggregation key
+  /// Set on the last train of an application message: the emulator performs
+  /// delivery bookkeeping and the endpoint upcall from `message` when the
+  /// train reaches its destination.
+  bool has_message = false;
+  std::uint64_t flow = 0;      // NetFlow aggregation key
   std::uint64_t probe_id = 0;  // traceroute correlation (ICMP kinds)
   NodeId reporter = -1;        // for IcmpTtlExceeded: the reporting router
-  /// Set on the last train of an application message: invoked at the
-  /// destination when the train is delivered.
-  std::function<void(SimTime)> on_delivered;
+  AppMessage message;          // valid when has_message
+};
+
+/// Free-list pool of Packets, sharded per engine (LP). Each shard is only
+/// touched by its engine's thread (shard 0 doubles as the setup-time shard:
+/// population happens strictly before run, so there is no overlap), which
+/// makes the pool lock-free by construction in Threaded mode. Packets may
+/// be acquired on one shard and released on another — storage addresses are
+/// stable (deque chunks) and each free list is thread-private.
+class PacketPool {
+ public:
+  explicit PacketPool(int shards)
+      : shards_(static_cast<std::size_t>(shards)) {
+    MASSF_REQUIRE(shards >= 1, "packet pool needs at least one shard");
+  }
+
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  /// Take a default-initialized Packet owned by `shard`'s free list.
+  Packet* acquire(int shard) {
+    Shard& s = shards_[static_cast<std::size_t>(shard)];
+    if (s.free_list.empty()) {
+      s.storage.emplace_back();
+      return &s.storage.back();
+    }
+    Packet* p = s.free_list.back();
+    s.free_list.pop_back();
+    *p = Packet{};
+    return p;
+  }
+
+  /// Return a Packet to `shard`'s free list (the releasing engine's shard,
+  /// not necessarily the acquiring one).
+  void release(int shard, Packet* p) {
+    shards_[static_cast<std::size_t>(shard)].free_list.push_back(p);
+  }
+
+  /// Total Packet slots ever materialized (high-water mark of in-flight
+  /// trains; observability for tests and benches).
+  std::size_t allocated() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) n += s.storage.size();
+    return n;
+  }
+
+ private:
+  struct Shard {
+    std::deque<Packet> storage;     // stable addresses
+    std::vector<Packet*> free_list;
+  };
+  std::vector<Shard> shards_;
 };
 
 }  // namespace massf::emu

@@ -3,7 +3,10 @@
 // equivalence.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "des/kernel.hpp"
@@ -202,6 +205,167 @@ TEST_P(ModeEquivalence, SequentialAndThreadedIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(LpCounts, ModeEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+// ---- Typed packet-event path ---------------------------------------------
+
+/// Pool-like stable storage for hop records referenced by PacketEvents.
+struct HopRecord {
+  int lp = 0;
+  int hops_left = 0;
+};
+
+/// Sink that forwards each hop to the next LP (remote) or reschedules
+/// locally, mimicking the emulator's packet-train hop chains.
+class ForwardingSink : public EventSink {
+ public:
+  ForwardingSink(Kernel& kernel, int lps) : kernel_(kernel), lps_(lps) {}
+
+  void on_packet_event(const PacketEvent& event) override {
+    auto* rec = static_cast<HopRecord*>(event.payload);
+    if (--rec->hops_left <= 0) return;
+    const double now = kernel_.now();
+    // Local filler through the Callback fallback: packet and callback
+    // events must interleave deterministically.
+    kernel_.schedule(rec->lp, now + 0.25, [] {});
+    const int next = (rec->lp + 1) % lps_;
+    if (next == rec->lp) {
+      kernel_.schedule_packet(rec->lp, now + 1.0, {rec, rec->lp});
+    } else {
+      rec->lp = next;
+      kernel_.schedule_packet_remote(next, now + 1.0, {rec, next});
+    }
+  }
+
+ private:
+  Kernel& kernel_;
+  int lps_;
+};
+
+TEST(KernelPacket, RequiresSinkRegistration) {
+  Kernel kernel(1, 1.0);
+  EXPECT_THROW(kernel.schedule_packet(0, 0.5, PacketEvent{}),
+               std::invalid_argument);
+}
+
+TEST(KernelPacket, DispatchesToSinkWithContext) {
+  Kernel kernel(2, 1.0);
+
+  class Probe : public EventSink {
+   public:
+    explicit Probe(Kernel& k) : kernel_(k) {}
+    void on_packet_event(const PacketEvent& event) override {
+      seen_payload = event.payload;
+      seen_node = event.node;
+      seen_time = kernel_.now();
+      seen_lp = kernel_.current_lp();
+    }
+    Kernel& kernel_;
+    void* seen_payload = nullptr;
+    std::int32_t seen_node = -1;
+    double seen_time = -1;
+    int seen_lp = -1;
+  };
+
+  Probe probe(kernel);
+  kernel.set_event_sink(&probe);
+  int payload = 7;
+  kernel.schedule_packet(1, 2.5, {&payload, 42});
+  kernel.run_until(10.0);
+  EXPECT_EQ(probe.seen_payload, &payload);
+  EXPECT_EQ(probe.seen_node, 42);
+  EXPECT_DOUBLE_EQ(probe.seen_time, 2.5);
+  EXPECT_EQ(probe.seen_lp, 1);
+  EXPECT_EQ(kernel.stats().events_per_lp[1], 1u);
+}
+
+TEST(KernelPacket, RemotePacketNeedsLookahead) {
+  Kernel kernel(2, 1.0);
+  ForwardingSink sink(kernel, 2);
+  kernel.set_event_sink(&sink);
+  bool caught = false;
+  kernel.schedule(0, 1.0, [&] {
+    try {
+      kernel.schedule_packet_remote(1, 1.5, PacketEvent{});
+    } catch (const std::invalid_argument&) {
+      caught = true;
+    }
+  });
+  kernel.run_until(10.0);
+  EXPECT_TRUE(caught);
+}
+
+TEST(KernelPacket, BulkFanInExecutesInTimestampOrder) {
+  // Many remote events landing on one LP in a single window exercise the
+  // bulk sorted-run drain; order must still be exact.
+  const int senders = 7, per_sender = 23;
+  Kernel kernel(senders + 1, 1.0);
+  std::vector<double> order;
+
+  class Recorder : public EventSink {
+   public:
+    Recorder(Kernel& k, std::vector<double>& out) : kernel_(k), out_(out) {}
+    void on_packet_event(const PacketEvent&) override {
+      out_.push_back(kernel_.now());
+    }
+    Kernel& kernel_;
+    std::vector<double>& out_;
+  };
+  Recorder recorder(kernel, order);
+  kernel.set_event_sink(&recorder);
+
+  std::vector<HopRecord> records(
+      static_cast<std::size_t>(senders * per_sender));
+  for (int s = 0; s < senders; ++s) {
+    kernel.schedule(s + 1, 0.5, [&kernel, &records, s] {
+      for (int i = 0; i < per_sender; ++i) {
+        auto* rec = &records[static_cast<std::size_t>(s * per_sender + i)];
+        // Deliberately interleaved timestamps across senders.
+        kernel.schedule_packet_remote(0, 2.0 + 0.01 * i + 0.001 * s,
+                                      {rec, 0});
+      }
+    });
+  }
+  kernel.run_until(10.0);
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(senders * per_sender));
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(kernel.stats().remote_messages,
+            static_cast<std::uint64_t>(senders * per_sender));
+}
+
+/// Packet-path analogue of pingpong(): hop chains forwarded by the sink,
+/// with callback filler interleaved.
+KernelStats packet_pingpong(int lps, ExecutionMode mode) {
+  Kernel kernel(lps, 1.0);
+  ForwardingSink sink(kernel, lps);
+  kernel.set_event_sink(&sink);
+  std::vector<HopRecord> records(static_cast<std::size_t>(2 * lps));
+  for (int lp = 0; lp < lps; ++lp) {
+    for (int c = 0; c < 2; ++c) {
+      auto* rec = &records[static_cast<std::size_t>(2 * lp + c)];
+      *rec = {lp, 40};
+      kernel.schedule_packet(lp, 0.1 * (lp + 1) + 0.05 * c, {rec, lp});
+    }
+  }
+  kernel.run_until(1e6, mode);
+  return kernel.stats();
+}
+
+class PacketModeEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PacketModeEquivalence, SequentialAndThreadedIdentical) {
+  const int lps = GetParam();
+  const KernelStats seq = packet_pingpong(lps, ExecutionMode::Sequential);
+  const KernelStats thr = packet_pingpong(lps, ExecutionMode::Threaded);
+  EXPECT_EQ(seq.history_hash, thr.history_hash);
+  EXPECT_EQ(seq.events_per_lp, thr.events_per_lp);
+  EXPECT_EQ(seq.remote_messages, thr.remote_messages);
+  EXPECT_EQ(seq.windows, thr.windows);
+  EXPECT_NEAR(seq.modeled_time, thr.modeled_time, 1e-9);
+  EXPECT_EQ(seq.load_series, thr.load_series);
+}
+
+INSTANTIATE_TEST_SUITE_P(LpCounts, PacketModeEquivalence,
                          ::testing::Values(1, 2, 3, 4, 8));
 
 }  // namespace

@@ -241,6 +241,69 @@ TEST(Traceroute, WorksBetweenRouters) {
   EXPECT_EQ(routes[0], tables.route(routers[0], routers[19]));
 }
 
+/// Campus-scale run through the typed packet path: deterministic message
+/// fan plus traceroute probes, round-robin placement over `engines`.
+struct CampusRun {
+  des::KernelStats kernel;
+  EmulatorStats emu;
+  std::size_t pool_size = 0;
+};
+
+CampusRun run_campus(const Network& net, const RoutingTables& tables,
+                     int engines, des::ExecutionMode mode) {
+  std::vector<int> placement(static_cast<std::size_t>(net.node_count()));
+  for (std::size_t i = 0; i < placement.size(); ++i)
+    placement[i] = static_cast<int>(i) % engines;
+  Emulator emu(net, tables, std::move(placement), engines);
+
+  const auto hosts = net.hosts();
+  const int n = static_cast<int>(hosts.size());
+  std::uint64_t probe_id = 0;
+  for (int i = 0; i < n; ++i) {
+    const NodeId src = hosts[static_cast<std::size_t>(i)];
+    const NodeId dst =
+        hosts[static_cast<std::size_t>((i * 7 + 3) % n)];
+    if (src == dst) continue;
+    // Spread over sim time so trains recycle through the pool instead of
+    // all being in flight at once.
+    emu.send_message(src, dst, 9000.0 + 500.0 * (i % 5), i, 0.4 * i);
+    // TTL-limited probes ride the same packet path (handler left unset:
+    // replies are dropped at the prober, which is all determinism needs).
+    if (i % 9 == 0) emu.send_probe(src, dst, 1 + i % 4, ++probe_id, 0.005);
+  }
+  emu.run(30.0, mode);
+  return {emu.kernel_stats(), emu.stats(), emu.packet_pool_size()};
+}
+
+TEST(EmulatorDeterminism, CampusSequentialAndThreadedIdentical) {
+  const Network net = make_campus();
+  const RoutingTables tables = RoutingTables::build(net);
+  for (const int engines : {2, 4}) {
+    const CampusRun seq =
+        run_campus(net, tables, engines, des::ExecutionMode::Sequential);
+    const CampusRun thr =
+        run_campus(net, tables, engines, des::ExecutionMode::Threaded);
+    EXPECT_EQ(seq.kernel.history_hash, thr.kernel.history_hash)
+        << engines << " engines";
+    EXPECT_EQ(seq.kernel.events_per_lp, thr.kernel.events_per_lp)
+        << engines << " engines";
+    EXPECT_EQ(seq.kernel.remote_messages, thr.kernel.remote_messages);
+    EXPECT_EQ(seq.kernel.windows, thr.kernel.windows);
+    EXPECT_NEAR(seq.kernel.modeled_time, thr.kernel.modeled_time, 1e-9);
+    EXPECT_EQ(seq.emu.trains_delivered, thr.emu.trains_delivered);
+    EXPECT_EQ(seq.emu.trains_dropped, thr.emu.trains_dropped);
+    EXPECT_EQ(seq.pool_size, thr.pool_size);
+    // Allocation-free hot path: one pool slot carries a train across its
+    // whole multi-hop journey, so slots ever materialized stay far below
+    // the per-hop kernel event count (the old closure path allocated one
+    // heap closure per hop).
+    EXPECT_GT(seq.emu.trains_injected, 0u);
+    std::uint64_t total_events = 0;
+    for (const std::uint64_t c : seq.kernel.events_per_lp) total_events += c;
+    EXPECT_LT(seq.pool_size, total_events / 2);
+  }
+}
+
 TEST(Emulator, RejectsBadConfiguration) {
   LineFixture fx;
   EXPECT_THROW(fx.make({0, 0, 0}, 1), std::invalid_argument);   // wrong size
