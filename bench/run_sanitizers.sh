@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build and run the test suite under ThreadSanitizer and AddressSanitizer.
+#
+#   bench/run_sanitizers.sh            # full suite under both sanitizers
+#   bench/run_sanitizers.sh -L faults  # just the fault-injection tests
+#
+# Extra arguments are passed to ctest verbatim. Each sanitizer gets its own
+# build tree (build-tsan / build-asan), matching the CMakePresets.json
+# tsan/asan presets, so switching sanitizers never forces a full rebuild.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 2)"
+status=0
+
+for sanitizer in thread address; do
+  build="build-${sanitizer:0:1}san"  # build-tsan / build-asan
+  [ "$sanitizer" = address ] && build=build-asan
+  echo "=== MASSF_SANITIZE=$sanitizer ($build) ==="
+  cmake -B "$build" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DMASSF_SANITIZE="$sanitizer" >/dev/null
+  cmake --build "$build" -j "$jobs" --target tests/all 2>/dev/null ||
+    cmake --build "$build" -j "$jobs"
+  if ! ctest --test-dir "$build" --output-on-failure -j "$jobs" "$@"; then
+    echo "!!! $sanitizer sanitizer run FAILED"
+    status=1
+  fi
+done
+
+exit $status

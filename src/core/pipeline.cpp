@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/algorithms.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
@@ -30,6 +31,28 @@ Experiment::Experiment(ExperimentSetup setup)
   MASSF_REQUIRE(setup_.routes != nullptr, "experiment needs routing tables");
   MASSF_REQUIRE(setup_.workload != nullptr, "experiment needs a workload");
   MASSF_REQUIRE(setup_.engines >= 1, "experiment needs >= 1 engine");
+  {
+    // Fail fast with an actionable message instead of letting the mapper or
+    // the routing layer surface a bare exception mid-pipeline. Dynamic
+    // disconnection (a fault plan severing the network) is fine — only the
+    // *baseline* topology must be connected.
+    std::vector<int> component;
+    const int components =
+        graph::connected_components(setup_.network->to_graph(), component);
+    MASSF_REQUIRE(
+        components == 1,
+        "experiment network is disconnected ("
+            << components
+            << " components): every node must be reachable at t = 0. Check "
+               "the topology's links, or model intentional outages with a "
+               "fault::FaultPlan instead of removing links from the input");
+  }
+  if (setup_.faults != nullptr) {
+    MASSF_REQUIRE(
+        setup_.faults->node_count() == setup_.network->node_count() &&
+            setup_.faults->link_count() == setup_.network->link_count(),
+        "fault timeline was compiled for a different network");
+  }
   setup_.mapping.engines = setup_.engines;
   setup_.emulator.bucket_width = std::max(setup_.emulator.bucket_width, 1e-3);
   if (horizon_ <= 0) horizon_ = setup_.workload->duration() * 2.5;
@@ -62,6 +85,7 @@ void Experiment::ensure_profile() {
   config.collect_netflow = true;
   emu::Emulator emulator(*setup_.network, *setup_.routes,
                          initial.node_engine, setup_.engines, config);
+  emulator.set_fault_timeline(setup_.faults);
   const traffic::Workload& profiled = setup_.profile_workload
                                           ? *setup_.profile_workload
                                           : *setup_.workload;
@@ -90,6 +114,7 @@ RunMetrics Experiment::collect(emu::Emulator& emulator) const {
   metrics.lookahead = emulator.lookahead();
   metrics.sim_time = ks.sim_time_reached;
   metrics.emulator_stats = emulator.stats();
+  metrics.epochs = emulator.epoch_stats();
   return metrics;
 }
 
@@ -99,6 +124,7 @@ RunMetrics Experiment::run(const MappingResult& mapping,
                 "mapping was computed for a different engine count");
   emu::Emulator emulator(*setup_.network, *setup_.routes, mapping.node_engine,
                          setup_.engines, setup_.emulator);
+  emulator.set_fault_timeline(setup_.faults);
   std::unique_ptr<emu::TraceRecorder> recorder;
   if (record != nullptr) {
     recorder =
@@ -117,6 +143,7 @@ RunMetrics Experiment::replay(const emu::Trace& trace,
                 "mapping was computed for a different engine count");
   emu::Emulator emulator(*setup_.network, *setup_.routes, mapping.node_engine,
                          setup_.engines, setup_.emulator);
+  emulator.set_fault_timeline(setup_.faults);
   emu::TraceReplayer replayer(trace);
   replayer.install(emulator);
   emulator.run(horizon_, setup_.mode);

@@ -21,6 +21,7 @@
 #include "core/mapper.hpp"
 #include "emu/emulator.hpp"
 #include "emu/trace.hpp"
+#include "fault/fault.hpp"
 #include "traffic/workload.hpp"
 
 namespace massf::mapping {
@@ -40,6 +41,10 @@ struct ExperimentSetup {
   /// Simulation horizon; 0 → 2.5 × workload duration.
   double horizon = 0;
   des::ExecutionMode mode = des::ExecutionMode::Sequential;
+  /// Optional fault timeline (not owned; must outlive the experiment and
+  /// be compiled for `network`). Applied to every run, including the
+  /// PROFILE profiling run and replays.
+  const fault::FaultTimeline* faults = nullptr;
 };
 
 /// Measurements of one emulation run (the paper's §4.1.1 metrics).
@@ -62,6 +67,8 @@ struct RunMetrics {
   double lookahead = 0;
   double sim_time = 0;
   emu::EmulatorStats emulator_stats{};
+  /// Per-routing-epoch fault counters (empty without a fault timeline).
+  std::vector<emu::EpochStats> epochs;
 
   /// Load imbalance per time bucket (Figure 8's series).
   std::vector<double> imbalance_series() const;

@@ -40,6 +40,12 @@ class AppApi {
   /// The message is packetized and injected on this host's access link.
   std::uint64_t send(NodeId dst, double bytes, int tag = 0);
 
+  /// Like send(), but with at-least-once delivery: the receiver ACKs and
+  /// this host retransmits on timeout with exponential backoff until the
+  /// retry budget (EmulatorConfig::reliable) is exhausted. The receiver
+  /// endpoint sees the message exactly once (duplicates are suppressed).
+  std::uint64_t send_reliable(NodeId dst, double bytes, int tag = 0);
+
   /// Model a compute phase: run `fn` on this host after `delay` seconds of
   /// simulated computation.
   void after(double delay, std::function<void()> fn);

@@ -19,6 +19,7 @@ std::uint64_t flow_id(NodeId src, NodeId dst, int tag) {
 }
 
 constexpr std::uint64_t kIcmpFlowBase = 0xfeedface00000000ULL;
+constexpr std::uint64_t kAckFlowBase = 0xacced00000000000ULL;
 
 }  // namespace
 
@@ -26,6 +27,10 @@ SimTime AppApi::now() const { return emulator_.kernel().now(); }
 
 std::uint64_t AppApi::send(NodeId dst, double bytes, int tag) {
   return emulator_.send_message(host_, dst, bytes, tag, now());
+}
+
+std::uint64_t AppApi::send_reliable(NodeId dst, double bytes, int tag) {
+  return emulator_.send_reliable(host_, dst, bytes, tag, now());
 }
 
 void AppApi::after(double delay, std::function<void()> fn) {
@@ -108,19 +113,10 @@ void Emulator::schedule_on_host(NodeId host, SimTime t, des::Callback fn) {
   kernel_->schedule(engine_of(host), t, std::move(fn));
 }
 
-std::uint64_t Emulator::send_message(NodeId src, NodeId dst, double bytes,
-                                     int tag, SimTime at) {
-  MASSF_REQUIRE(src >= 0 && src < network_.node_count(), "src out of range");
-  MASSF_REQUIRE(dst >= 0 && dst < network_.node_count(), "dst out of range");
-  MASSF_REQUIRE(src != dst, "messages must cross the network (src != dst)");
-  MASSF_REQUIRE(bytes > 0, "message size must be positive");
-
+void Emulator::inject_trains(NodeId src, NodeId dst, double bytes, int tag,
+                             std::uint64_t message_id, SimTime sent_at,
+                             bool reliable, SimTime at) {
   HostState& sender = host_state_[static_cast<std::size_t>(src)];
-  const std::uint64_t message_id =
-      mix_seed(static_cast<std::uint64_t>(src) + 1, ++sender.message_counter);
-  ++sender.messages_sent;
-  if (recorder_ != nullptr)
-    recorder_->on_send(src, dst, bytes, tag, message_id, at);
 
   // Packetize into trains; the last train embeds the AppMessage that
   // drives delivery bookkeeping at the destination.
@@ -147,7 +143,8 @@ std::uint64_t Emulator::send_message(NodeId src, NodeId dst, double bytes,
       train->bytes = remaining_bytes;
       train->packets = std::max(1, remaining_packets);
       train->has_message = true;
-      train->message = AppMessage{src, dst, bytes, tag, message_id, at, 0};
+      train->message =
+          AppMessage{src, dst, bytes, tag, message_id, sent_at, 0, reliable};
     }
     remaining_bytes -= train_bytes;
     remaining_packets -= config_.train_packets;
@@ -158,7 +155,106 @@ std::uint64_t Emulator::send_message(NodeId src, NodeId dst, double bytes,
     ++sender.trains_injected;
     kernel_->schedule_packet(engine_of(src), at, {train, src});
   }
+}
+
+std::uint64_t Emulator::send_message(NodeId src, NodeId dst, double bytes,
+                                     int tag, SimTime at) {
+  MASSF_REQUIRE(src >= 0 && src < network_.node_count(), "src out of range");
+  MASSF_REQUIRE(dst >= 0 && dst < network_.node_count(), "dst out of range");
+  MASSF_REQUIRE(src != dst, "messages must cross the network (src != dst)");
+  MASSF_REQUIRE(bytes > 0, "message size must be positive");
+
+  HostState& sender = host_state_[static_cast<std::size_t>(src)];
+  const std::uint64_t message_id =
+      mix_seed(static_cast<std::uint64_t>(src) + 1, ++sender.message_counter);
+  ++sender.messages_sent;
+  if (recorder_ != nullptr)
+    recorder_->on_send(src, dst, bytes, tag, message_id, at);
+
+  inject_trains(src, dst, bytes, tag, message_id, at, /*reliable=*/false, at);
   return message_id;
+}
+
+std::uint64_t Emulator::send_reliable(NodeId src, NodeId dst, double bytes,
+                                      int tag, SimTime at) {
+  MASSF_REQUIRE(src >= 0 && src < network_.node_count(), "src out of range");
+  MASSF_REQUIRE(dst >= 0 && dst < network_.node_count(), "dst out of range");
+  MASSF_REQUIRE(src != dst, "messages must cross the network (src != dst)");
+  MASSF_REQUIRE(bytes > 0, "message size must be positive");
+
+  HostState& sender = host_state_[static_cast<std::size_t>(src)];
+  const std::uint64_t message_id =
+      mix_seed(static_cast<std::uint64_t>(src) + 1, ++sender.message_counter);
+  ++sender.messages_sent;
+  ++sender.reliable_sent;
+  if (recorder_ != nullptr)
+    recorder_->on_send(src, dst, bytes, tag, message_id, at);
+
+  sender.pending.emplace(message_id,
+                         PendingReliable{dst, bytes, tag, at, /*attempts=*/1});
+  inject_trains(src, dst, bytes, tag, message_id, at, /*reliable=*/true, at);
+  kernel_->schedule(engine_of(src), at + config_.reliable.base_timeout_s,
+                    [this, src, message_id] {
+                      reliable_timeout(src, message_id);
+                    });
+  return message_id;
+}
+
+void Emulator::reliable_timeout(NodeId src, std::uint64_t message_id) {
+  HostState& sender = host_state_[static_cast<std::size_t>(src)];
+  const auto it = sender.pending.find(message_id);
+  if (it == sender.pending.end()) return;  // ACKed in the meantime
+  PendingReliable& p = it->second;
+  if (p.attempts >= 1 + config_.reliable.max_retries) {
+    ++sender.reliable_failed;
+    sender.pending.erase(it);
+    return;
+  }
+  ++p.attempts;
+  ++sender.retransmissions;
+  const SimTime now = kernel_->now();
+  if (faults_) ++epoch_counters(epoch_for(now)).retransmissions;
+  inject_trains(src, p.dst, p.bytes, p.tag, message_id, p.first_sent,
+                /*reliable=*/true, now);
+  const double timeout = config_.reliable.base_timeout_s *
+                         std::pow(config_.reliable.backoff, p.attempts - 1);
+  kernel_->schedule(engine_of(src), now + timeout, [this, src, message_id] {
+    reliable_timeout(src, message_id);
+  });
+}
+
+void Emulator::set_fault_timeline(const fault::FaultTimeline* timeline) {
+  MASSF_REQUIRE(!ran_, "set the fault timeline before run()");
+  faults_ = timeline;
+  epoch_cursor_.clear();
+  epoch_slots_.clear();
+  if (timeline == nullptr) return;
+  MASSF_REQUIRE(timeline->node_count() == network_.node_count() &&
+                    timeline->link_count() == network_.link_count(),
+                "fault timeline was built for a different network");
+  epoch_cursor_.assign(static_cast<std::size_t>(engines_), EpochCursor{});
+  epoch_slots_.assign(
+      timeline->epoch_count() * static_cast<std::size_t>(engines_),
+      EpochCounters{});
+  // Every epoch boundary becomes a kernel event on every engine: faults are
+  // observed inside the simulation (identically in Sequential and Threaded
+  // modes), and an engine crosses the boundary even when idle.
+  for (const double t : timeline->boundaries()) {
+    for (int lp = 0; lp < engines_; ++lp) {
+      kernel_->schedule(lp, t, [this] { (void)epoch_for(kernel_->now()); });
+    }
+  }
+}
+
+std::size_t Emulator::epoch_for(SimTime t) {
+  const int lp = kernel_->current_lp();
+  if (lp < 0) return faults_->epoch_at(t);
+  std::size_t& cursor = epoch_cursor_[static_cast<std::size_t>(lp)].epoch;
+  while (cursor + 1 < faults_->epoch_count() &&
+         faults_->epoch(cursor + 1).start <= t) {
+    ++cursor;
+  }
+  return cursor;
 }
 
 void Emulator::send_probe(NodeId src, NodeId dst, int ttl,
@@ -191,6 +287,21 @@ void Emulator::on_packet_event(const des::PacketEvent& event) {
 
 void Emulator::arrive(NodeId at, Packet* packet) {
   const SimTime t = kernel_->now();
+
+  if (faults_ != nullptr) {
+    const std::size_t epoch = epoch_for(t);
+    // A train is cut when the link it rode, or the node it reaches, is down
+    // at *arrival* time — so a flap shorter than the flight is survived.
+    const bool link_cut =
+        packet->via >= 0 && !faults_->link_up(epoch, packet->via);
+    if (link_cut || !faults_->node_up(epoch, at)) {
+      ++host_state_[static_cast<std::size_t>(at)].trains_dropped_fault;
+      ++epoch_counters(epoch).dropped_fault;
+      pool_.release(pool_shard(), packet);
+      return;
+    }
+  }
+
   if (netflow_) netflow_->record_node(at, *packet, t);
 
   if (at == packet->dst) {
@@ -215,9 +326,11 @@ void Emulator::arrive(NodeId at, Packet* packet) {
         report->flow = kIcmpFlowBase ^ packet->probe_id;
         report->probe_id = packet->probe_id;
         report->reporter = at;
+        ++host_state_[static_cast<std::size_t>(at)].trains_injected;
         transmit(at, report, t);
       }
       // Original packet dropped either way.
+      ++host_state_[static_cast<std::size_t>(at)].trains_expired;
       pool_.release(pool_shard(), packet);
       return;
     }
@@ -226,7 +339,55 @@ void Emulator::arrive(NodeId at, Packet* packet) {
 }
 
 void Emulator::transmit(NodeId from, Packet* packet, SimTime t) {
-  const topology::LinkId link_id = routes_.next_link(from, packet->dst);
+  const routing::RoutingTables* tables = &routes_;
+  std::size_t epoch = 0;
+  if (faults_ != nullptr) {
+    epoch = epoch_for(t);
+    tables = faults_->epoch(epoch).routes.get();
+  }
+  const topology::LinkId link_id = tables->next_link(from, packet->dst);
+  if (link_id < 0) {
+    // No route to the destination in this epoch. Data packets elicit an
+    // ICMP-unreachable report toward the source; reports and ACKs that
+    // themselves hit a dead end drop silently (bounding the recursion).
+    HostState& here = host_state_[static_cast<std::size_t>(from)];
+    ++here.trains_dropped_unreachable;
+    if (faults_ != nullptr) ++epoch_counters(epoch).dropped_unreachable;
+    if (packet->kind == PacketKind::Data) {
+      ++here.icmp_unreachable_sent;
+      if (faults_ != nullptr) ++epoch_counters(epoch).icmp_unreachable;
+      if (from == packet->src) {
+        // The source itself has no route: report locally, no wire packet.
+        if (icmp_handler_) {
+          Packet report{};
+          report.src = from;
+          report.dst = packet->src;
+          report.bytes = 64;
+          report.kind = PacketKind::IcmpUnreachable;
+          report.flow = kIcmpFlowBase ^ packet->flow;
+          report.probe_id = packet->has_message ? packet->message.id : 0;
+          report.reporter = from;
+          icmp_handler_(report, t);
+        }
+      } else {
+        Packet* report = pool_.acquire(pool_shard());
+        report->src = from;
+        report->dst = packet->src;
+        report->bytes = 64;
+        report->packets = 1;
+        report->ttl = 255;
+        report->kind = PacketKind::IcmpUnreachable;
+        report->flow = kIcmpFlowBase ^ packet->flow;
+        report->probe_id = packet->has_message ? packet->message.id : 0;
+        report->reporter = from;
+        ++here.trains_injected;
+        transmit(from, report, t);
+      }
+    }
+    pool_.release(pool_shard(), packet);
+    return;
+  }
+  packet->via = link_id;
   const topology::Link& link = network_.link(link_id);
   const int dir = link.a == from ? 0 : 1;
   const std::size_t slot =
@@ -263,6 +424,26 @@ void Emulator::deliver(NodeId at, const Packet& packet, SimTime t) {
         message.delivered_at = t;
         HostState& receiver =
             host_state_[static_cast<std::size_t>(message.dst)];
+        if (message.reliable) {
+          // ACK every copy (the previous ACK may itself have been lost);
+          // deduplicate before the bookkeeping and the endpoint upcall.
+          Packet* ack = pool_.acquire(pool_shard());
+          ack->src = at;
+          ack->dst = message.src;
+          ack->bytes = config_.reliable.ack_bytes;
+          ack->packets = 1;
+          ack->ttl = 255;
+          ack->kind = PacketKind::Ack;
+          ack->flow = kAckFlowBase ^ message.id;
+          ack->probe_id = message.id;
+          ++receiver.trains_injected;
+          transmit(at, ack, t);
+          if (!receiver.reliable_seen.insert(message.id).second) {
+            ++receiver.duplicate_deliveries;
+            break;
+          }
+          ++receiver.reliable_delivered;
+        }
         ++receiver.messages_delivered;
         receiver.bytes_delivered += message.bytes;
         if (recorder_ != nullptr) recorder_->on_delivery(message, t);
@@ -272,6 +453,21 @@ void Emulator::deliver(NodeId at, const Packet& packet, SimTime t) {
         }
       }
       break;
+    case PacketKind::Ack: {
+      // `at` is the original sender; retire the pending entry.
+      const auto it = state.pending.find(packet.probe_id);
+      if (it != state.pending.end()) {
+        ++state.reliable_acked;
+        if (faults_ != nullptr && it->second.attempts > 1) {
+          EpochCounters& counters = epoch_counters(epoch_for(t));
+          ++counters.recovered;
+          counters.max_recovery_s =
+              std::max(counters.max_recovery_s, t - it->second.first_sent);
+        }
+        state.pending.erase(it);
+      }
+      break;  // duplicate ACKs for an already-retired message are ignored
+    }
     case PacketKind::IcmpEcho: {
       // Destination answers the probe: echo reply back to the prober.
       Packet* reply = pool_.acquire(pool_shard());
@@ -284,11 +480,13 @@ void Emulator::deliver(NodeId at, const Packet& packet, SimTime t) {
       reply->flow = kIcmpFlowBase ^ packet.probe_id;
       reply->probe_id = packet.probe_id;
       reply->reporter = at;
+      ++state.trains_injected;
       transmit(at, reply, t);
       break;
     }
     case PacketKind::IcmpEchoReply:
     case PacketKind::IcmpTtlExceeded:
+    case PacketKind::IcmpUnreachable:
       if (icmp_handler_) icmp_handler_(packet, t);
       break;
   }
@@ -297,6 +495,7 @@ void Emulator::deliver(NodeId at, const Packet& packet, SimTime t) {
 void Emulator::run(SimTime until, des::ExecutionMode mode) {
   MASSF_REQUIRE(!ran_, "run() may only be called once");
   ran_ = true;
+  run_until_ = until;
   kernel_->run_until(until, mode);
 }
 
@@ -311,11 +510,51 @@ EmulatorStats Emulator::stats() const {
   for (const HostState& s : host_state_) {
     out.trains_injected += s.trains_injected;
     out.trains_delivered += s.trains_delivered;
+    out.trains_dropped_fault += s.trains_dropped_fault;
+    out.trains_dropped_unreachable += s.trains_dropped_unreachable;
+    out.trains_expired += s.trains_expired;
+    out.icmp_unreachable_sent += s.icmp_unreachable_sent;
     out.messages_sent += s.messages_sent;
     out.messages_delivered += s.messages_delivered;
+    out.reliable_messages_sent += s.reliable_sent;
+    out.reliable_messages_delivered += s.reliable_delivered;
+    out.reliable_messages_acked += s.reliable_acked;
+    out.reliable_messages_failed += s.reliable_failed;
+    out.retransmissions += s.retransmissions;
+    out.duplicate_deliveries += s.duplicate_deliveries;
     out.bytes_delivered += s.bytes_delivered;
   }
+  // trains_dropped is *defined* as the drop-tail ledger: the sum of the
+  // per-direction link_drops_ slots, nothing else folded in.
   for (std::uint64_t d : link_drops_) out.trains_dropped += d;
+  return out;
+}
+
+std::vector<EpochStats> Emulator::epoch_stats() const {
+  std::vector<EpochStats> out;
+  if (faults_ == nullptr) return out;
+  const auto engines = static_cast<std::size_t>(engines_);
+  out.resize(faults_->epoch_count());
+  for (std::size_t e = 0; e < faults_->epoch_count(); ++e) {
+    EpochStats& stats = out[e];
+    const fault::FaultTimeline::Epoch& epoch = faults_->epoch(e);
+    stats.start = epoch.start;
+    stats.end = e + 1 < faults_->epoch_count() ? faults_->epoch(e + 1).start
+                                               : std::max(run_until_,
+                                                          epoch.start);
+    stats.links_down = epoch.links_down;
+    stats.nodes_down = epoch.nodes_down;
+    for (std::size_t lp = 0; lp < engines; ++lp) {
+      const EpochCounters& slot = epoch_slots_[e * engines + lp];
+      stats.trains_dropped_fault += slot.dropped_fault;
+      stats.trains_dropped_unreachable += slot.dropped_unreachable;
+      stats.icmp_unreachable_sent += slot.icmp_unreachable;
+      stats.retransmissions += slot.retransmissions;
+      stats.reliable_recovered += slot.recovered;
+      stats.max_recovery_s = std::max(stats.max_recovery_s,
+                                      slot.max_recovery_s);
+    }
+  }
   return out;
 }
 

@@ -22,16 +22,33 @@
 #include <memory>
 #include <vector>
 
+#include <unordered_map>
+#include <unordered_set>
+
 #include "des/kernel.hpp"
 #include "emu/app.hpp"
 #include "emu/netflow.hpp"
 #include "emu/packet.hpp"
+#include "fault/fault.hpp"
 #include "routing/routing.hpp"
 #include "topology/network.hpp"
 
 namespace massf::emu {
 
 class TraceRecorder;
+
+/// Retry policy for the reliable-delivery layer (AppApi::send_reliable).
+struct ReliablePolicy {
+  /// Wait this long for the first ACK before retransmitting. Must exceed
+  /// the round-trip time of the flows using the reliable layer.
+  double base_timeout_s = 1.0;
+  /// Each successive timeout multiplies the wait by this factor.
+  double backoff = 2.0;
+  /// Retransmissions after the initial attempt; exhausted => failed.
+  int max_retries = 6;
+  /// Size of the acknowledgement packet on the wire.
+  double ack_bytes = 64;
+};
 
 struct EmulatorConfig {
   /// Maximum transmission unit; messages are split into MTU packets.
@@ -49,16 +66,55 @@ struct EmulatorConfig {
   bool collect_netflow = true;
   /// Fallback lookahead when no link crosses engines (single-engine runs).
   double min_lookahead = 1e-4;
+  /// Reliable-delivery retry policy (used by send_reliable only).
+  ReliablePolicy reliable{};
 };
 
 /// Aggregate emulator counters (folded from per-node slots after a run).
+/// Train conservation: trains_injected == trains_delivered + trains_dropped
+/// (queue overflow) + trains_dropped_fault + trains_dropped_unreachable +
+/// trains_expired.
 struct EmulatorStats {
   std::uint64_t trains_injected = 0;
   std::uint64_t trains_delivered = 0;
+  /// Drop-tail queue overflow only; always equals the sum over
+  /// link_drops(link, dir). Fault-induced drops are counted separately.
   std::uint64_t trains_dropped = 0;
+  /// In-flight trains cut by a fault epoch (link or node down on arrival).
+  std::uint64_t trains_dropped_fault = 0;
+  /// Trains addressed to a destination unreachable in the current epoch.
+  std::uint64_t trains_dropped_unreachable = 0;
+  /// Trains whose TTL reached zero in flight.
+  std::uint64_t trains_expired = 0;
+  std::uint64_t icmp_unreachable_sent = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
+  std::uint64_t reliable_messages_sent = 0;
+  /// Unique reliable messages seen by the receiver (duplicates excluded).
+  std::uint64_t reliable_messages_delivered = 0;
+  /// Reliable messages whose ACK reached the sender.
+  std::uint64_t reliable_messages_acked = 0;
+  /// Reliable messages abandoned after the retry budget.
+  std::uint64_t reliable_messages_failed = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t duplicate_deliveries = 0;
   double bytes_delivered = 0;
+};
+
+/// Fault/recovery counters for one routing epoch (see epoch_stats()).
+struct EpochStats {
+  double start = 0;
+  double end = 0;
+  int links_down = 0;
+  int nodes_down = 0;
+  std::uint64_t trains_dropped_fault = 0;
+  std::uint64_t trains_dropped_unreachable = 0;
+  std::uint64_t icmp_unreachable_sent = 0;
+  std::uint64_t retransmissions = 0;
+  /// Reliable messages ACKed in this epoch after >= 1 retransmission.
+  std::uint64_t reliable_recovered = 0;
+  /// Max first-send → ACK latency among those recoveries.
+  double max_recovery_s = 0;
 };
 
 /// The emulator is the kernel's EventSink: every packet hop is a typed,
@@ -94,6 +150,24 @@ class Emulator : private des::EventSink {
   std::uint64_t send_message(NodeId src, NodeId dst, double bytes, int tag,
                              SimTime at);
 
+  /// Reliable variant: the receiver ACKs, the sender retransmits on timeout
+  /// with exponential backoff (EmulatorConfig::reliable), and duplicates
+  /// are suppressed before the endpoint upcall. Same call-site rules as
+  /// send_message.
+  std::uint64_t send_reliable(NodeId src, NodeId dst, double bytes, int tag,
+                              SimTime at);
+
+  // ---- Fault injection ----------------------------------------------------
+
+  /// Attach a compiled fault timeline (not owned; may be null to detach).
+  /// Must be called before run(); the timeline must have been built for
+  /// this emulator's network. Epoch boundaries become kernel events on
+  /// every engine, and arrive/transmit consult the epoch's partial routing
+  /// tables instead of the static ones.
+  void set_fault_timeline(const fault::FaultTimeline* timeline);
+
+  const fault::FaultTimeline* fault_timeline() const { return faults_; }
+
   /// Attach an app-level trace recorder (not owned; may be null). Must be
   /// set before run().
   void set_trace_recorder(TraceRecorder* recorder) { recorder_ = recorder; }
@@ -105,7 +179,8 @@ class Emulator : private des::EventSink {
                   SimTime at);
 
   /// Handler invoked (on the probing host's engine) whenever an
-  /// IcmpTtlExceeded or IcmpEchoReply packet reaches its destination.
+  /// IcmpTtlExceeded, IcmpEchoReply, or IcmpUnreachable packet reaches its
+  /// destination.
   void set_icmp_handler(std::function<void(const Packet&, SimTime)> handler) {
     icmp_handler_ = std::move(handler);
   }
@@ -119,6 +194,15 @@ class Emulator : private des::EventSink {
   const des::KernelStats& kernel_stats() const { return kernel_->stats(); }
   const NetFlowCollector& netflow() const;
   EmulatorStats stats() const;
+
+  /// Per-epoch fault/recovery counters (empty without a fault timeline).
+  std::vector<EpochStats> epoch_stats() const;
+
+  /// Drop-tail drops on one direction of a link (dir 0 = a→b, 1 = b→a).
+  std::uint64_t link_drops(LinkId link, int dir) const {
+    return link_drops_[2 * static_cast<std::size_t>(link) +
+                       static_cast<std::size_t>(dir)];
+  }
 
   /// Per-engine kernel event counts as doubles (the paper's load vector).
   std::vector<double> engine_loads() const { return kernel_stats().loads(); }
@@ -136,6 +220,15 @@ class Emulator : private des::EventSink {
  private:
   friend class AppApi;
 
+  /// One reliable message awaiting its ACK (sender side).
+  struct PendingReliable {
+    NodeId dst = -1;
+    double bytes = 0;
+    int tag = 0;
+    SimTime first_sent = 0;
+    int attempts = 0;  // transmissions so far (1 = original only)
+  };
+
   struct HostState {
     std::unique_ptr<AppEndpoint> endpoint;
     std::uint64_t message_counter = 0;
@@ -143,9 +236,41 @@ class Emulator : private des::EventSink {
     // threaded mode race-free).
     std::uint64_t trains_injected = 0;
     std::uint64_t trains_delivered = 0;
+    std::uint64_t trains_dropped_fault = 0;
+    std::uint64_t trains_dropped_unreachable = 0;
+    std::uint64_t trains_expired = 0;
+    std::uint64_t icmp_unreachable_sent = 0;
     std::uint64_t messages_sent = 0;
     std::uint64_t messages_delivered = 0;
+    std::uint64_t reliable_sent = 0;
+    std::uint64_t reliable_delivered = 0;
+    std::uint64_t reliable_acked = 0;
+    std::uint64_t reliable_failed = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t duplicate_deliveries = 0;
     double bytes_delivered = 0;
+    // Reliable-delivery state: touched only on this node's engine, so it
+    // follows the same race-freedom rule as the counters above.
+    std::unordered_map<std::uint64_t, PendingReliable> pending;  // as sender
+    std::unordered_set<std::uint64_t> reliable_seen;             // as receiver
+  };
+
+  /// Per-engine routing-epoch cursor. Events on an LP execute in
+  /// nondecreasing time order, so the cursor only moves forward; the
+  /// alignment keeps each engine's cursor on its own cache line.
+  struct alignas(64) EpochCursor {
+    std::size_t epoch = 0;
+  };
+
+  /// Per-(epoch × engine) fault counters; slot written only by its
+  /// engine's thread, folded deterministically in epoch_stats().
+  struct EpochCounters {
+    std::uint64_t dropped_fault = 0;
+    std::uint64_t dropped_unreachable = 0;
+    std::uint64_t icmp_unreachable = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t recovered = 0;
+    double max_recovery_s = 0;
   };
 
   /// EventSink hook: dispatches the hop to arrive().
@@ -161,6 +286,25 @@ class Emulator : private des::EventSink {
   void transmit(NodeId from, Packet* packet, SimTime t);
 
   void deliver(NodeId at, const Packet& packet, SimTime t);
+
+  /// Packetize one message into trains and inject them at `at`. Shared by
+  /// send_message, send_reliable, and retransmission.
+  void inject_trains(NodeId src, NodeId dst, double bytes, int tag,
+                     std::uint64_t message_id, SimTime sent_at, bool reliable,
+                     SimTime at);
+
+  /// Timeout event for a pending reliable message on src's engine.
+  void reliable_timeout(NodeId src, std::uint64_t message_id);
+
+  /// Epoch covering time t. On an executing engine this advances the
+  /// engine's monotone cursor; at setup it binary-searches the timeline.
+  /// Only valid when faults_ != nullptr.
+  std::size_t epoch_for(SimTime t);
+
+  EpochCounters& epoch_counters(std::size_t epoch) {
+    return epoch_slots_[epoch * static_cast<std::size_t>(engines_) +
+                        static_cast<std::size_t>(pool_shard())];
+  }
 
   /// The packet-pool shard owned by the calling thread: the executing
   /// engine during a run, shard 0 during single-threaded setup.
@@ -182,6 +326,10 @@ class Emulator : private des::EventSink {
   std::vector<std::uint64_t> link_drops_;       // 2 per link
   std::function<void(const Packet&, SimTime)> icmp_handler_;
   TraceRecorder* recorder_ = nullptr;
+  const fault::FaultTimeline* faults_ = nullptr;
+  std::vector<EpochCursor> epoch_cursor_;    // indexed by engine
+  std::vector<EpochCounters> epoch_slots_;   // epoch * engines + engine
+  SimTime run_until_ = 0;
   bool ran_ = false;
 };
 

@@ -34,15 +34,19 @@ struct AppMessage {
   double bytes = 0;
   int tag = 0;
   std::uint64_t id = 0;
-  SimTime sent_at = 0;
+  SimTime sent_at = 0;  // first transmission (retransmits keep this)
   SimTime delivered_at = 0;
+  /// Sent via the reliable layer: receiver ACKs, sender retries on timeout.
+  bool reliable = false;
 };
 
 enum class PacketKind : std::uint8_t {
   Data,             // application / background traffic
+  Ack,              // reliable-delivery acknowledgement (probe_id = msg id)
   IcmpEcho,         // traceroute probe (TTL-limited)
   IcmpEchoReply,    // probe reached its destination
   IcmpTtlExceeded,  // router report: TTL expired here
+  IcmpUnreachable,  // router report: destination unreachable in this epoch
 };
 
 /// One packet train traversing the virtual network. Plain data — delivery
@@ -61,8 +65,11 @@ struct Packet {
   /// train reaches its destination.
   bool has_message = false;
   std::uint64_t flow = 0;      // NetFlow aggregation key
-  std::uint64_t probe_id = 0;  // traceroute correlation (ICMP kinds)
-  NodeId reporter = -1;        // for IcmpTtlExceeded: the reporting router
+  std::uint64_t probe_id = 0;  // traceroute / ack correlation id
+  NodeId reporter = -1;        // for ICMP reports: the reporting router
+  /// Link the train is currently crossing (set by transmit); a fault epoch
+  /// that takes this link down before arrival cuts the train mid-flight.
+  LinkId via = -1;
   AppMessage message;          // valid when has_message
 };
 

@@ -1,0 +1,150 @@
+// Deterministic fault injection: scheduled link/router outages and the
+// routing epochs they induce.
+//
+// The paper's emulator targets static networks; this subsystem makes the
+// infrastructure time-varying while keeping every run bit-reproducible. A
+// FaultPlan is a list of (time, kind, resource) events — authored directly
+// or generated MTBF/MTTR-style from a seeded Rng. A FaultTimeline compiles
+// the plan against a concrete Network into *routing epochs*: maximal
+// intervals with a fixed up/down state, each with next-hop tables for the
+// surviving subgraph (routing::RoutingTables::build_partial) precomputed at
+// setup. The emulator consumes epochs via kernel events, so faults are
+// ordinary simulation events and Sequential vs Threaded execution stays
+// identical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "routing/routing.hpp"
+#include "topology/network.hpp"
+
+namespace massf::fault {
+
+using topology::LinkId;
+using topology::Network;
+using topology::NodeId;
+
+enum class FaultKind : std::uint8_t {
+  LinkDown,
+  LinkUp,
+  RouterDown,
+  RouterUp,
+};
+
+const char* to_string(FaultKind kind);
+
+/// One scheduled state change. `id` is a LinkId for Link* kinds and a
+/// NodeId for Router* kinds. Semantics are set-state (idempotent): bringing
+/// down a link that is already down is a no-op, not an error.
+struct FaultEvent {
+  double time = 0;
+  FaultKind kind = FaultKind::LinkDown;
+  std::int32_t id = -1;
+};
+
+/// Parameters for the MTBF/MTTR-style random plan generator.
+struct RandomFaultParams {
+  std::uint64_t seed = 1;
+  /// Faults start uniformly in [0, horizon_s); repairs may land later.
+  double horizon_s = 60.0;
+  int link_faults = 2;
+  int router_faults = 0;
+  /// Mean outage duration (repair time is exponential with this mean).
+  double mttr_s = 5.0;
+  /// Floor on any single outage duration.
+  double min_repair_s = 0.5;
+  /// Restrict candidates to router–router links and router nodes, so hosts
+  /// keep their access link and faults exercise rerouting rather than
+  /// severing endpoints. Set false to allow any link.
+  bool routers_only = true;
+};
+
+/// An authored or generated schedule of fault events, independent of any
+/// emulator instance. Events may be added in any order; events() returns
+/// them in deterministic (time, kind, id) order.
+class FaultPlan {
+ public:
+  void link_down(LinkId link, double at);
+  void link_up(LinkId link, double at);
+  void router_down(NodeId node, double at);
+  void router_up(NodeId node, double at);
+
+  /// Down at `from`, back up at `to` (from < to).
+  void link_outage(LinkId link, double from, double to);
+  void router_outage(NodeId node, double from, double to);
+
+  /// Events sorted by (time, kind, id).
+  std::vector<FaultEvent> events() const;
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Check every event against a concrete network: ids in range, times
+  /// non-negative and finite, Router* events target routers. Throws
+  /// std::invalid_argument on the first violation.
+  void validate(const Network& network) const;
+
+  /// Generate a random plan: each fault picks a candidate resource, a start
+  /// time uniform in [0, horizon_s), and an exponential outage duration
+  /// (mean mttr_s, floored at min_repair_s). Outages on the same resource
+  /// never overlap. Deterministic in params.seed.
+  static FaultPlan random(const Network& network,
+                          const RandomFaultParams& params);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// The compiled form the emulator executes: the plan's events grouped by
+/// time into epochs, each carrying the up/down masks, partial routing
+/// tables, and reachability for its interval [start, next.start).
+class FaultTimeline {
+ public:
+  struct Epoch {
+    double start = 0;
+    std::vector<char> links_up;  // indexed by LinkId, 1 = up
+    std::vector<char> nodes_up;  // indexed by NodeId, 1 = up
+    /// Shared when consecutive epochs have identical masks (e.g. a router
+    /// flap that returns to a previously seen state).
+    std::shared_ptr<const routing::RoutingTables> routes;
+    routing::Reachability reach;
+    int links_down = 0;
+    int nodes_down = 0;
+  };
+
+  /// Compile `plan` against `network`. Validates the plan; precomputes one
+  /// RoutingTables per distinct mask. Epoch 0 always starts at t = 0 with
+  /// everything up (events at exactly t = 0 fold into it).
+  FaultTimeline(const Network& network, const FaultPlan& plan);
+
+  std::size_t epoch_count() const { return epochs_.size(); }
+  const Epoch& epoch(std::size_t i) const { return epochs_[i]; }
+
+  /// Index of the epoch covering time t (t < 0 clamps to epoch 0).
+  std::size_t epoch_at(double t) const;
+
+  /// Epoch start times after t = 0 — the instants the emulator must observe
+  /// as kernel events.
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+  bool link_up(std::size_t epoch, LinkId link) const {
+    return epochs_[epoch].links_up[static_cast<std::size_t>(link)] != 0;
+  }
+  bool node_up(std::size_t epoch, NodeId node) const {
+    return epochs_[epoch].nodes_up[static_cast<std::size_t>(node)] != 0;
+  }
+
+  NodeId node_count() const { return node_count_; }
+  LinkId link_count() const { return link_count_; }
+
+ private:
+  NodeId node_count_ = 0;
+  LinkId link_count_ = 0;
+  std::vector<Epoch> epochs_;
+  std::vector<double> boundaries_;
+};
+
+}  // namespace massf::fault

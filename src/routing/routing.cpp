@@ -18,13 +18,42 @@ std::size_t RoutingTables::index(NodeId src, NodeId dst) const {
 }
 
 RoutingTables RoutingTables::build(const Network& network) {
+  Reachability reach;
+  RoutingTables tables = build_partial(network, &reach);
+  MASSF_REQUIRE(reach.fully_connected(),
+                "network is not connected ("
+                    << reach.component_count
+                    << " components); use RoutingTables::build_partial (or a "
+                       "fault::FaultTimeline) to route the surviving "
+                       "components explicitly");
+  return tables;
+}
+
+RoutingTables RoutingTables::build_partial(const Network& network,
+                                           Reachability* reachability,
+                                           const std::vector<char>* links_up,
+                                           const std::vector<char>* nodes_up) {
   const NodeId n = network.node_count();
   MASSF_REQUIRE(n > 0, "cannot route an empty network");
+  MASSF_REQUIRE(!links_up ||
+                    links_up->size() ==
+                        static_cast<std::size_t>(network.link_count()),
+                "links_up mask size must equal link count");
+  MASSF_REQUIRE(!nodes_up ||
+                    nodes_up->size() == static_cast<std::size_t>(n),
+                "nodes_up mask size must equal node count");
+  const auto link_active = [&](LinkId l) {
+    return !links_up || (*links_up)[static_cast<std::size_t>(l)] != 0;
+  };
+  const auto node_active = [&](NodeId v) {
+    return !nodes_up || (*nodes_up)[static_cast<std::size_t>(v)] != 0;
+  };
 
   // Build a graph whose arc weights are link latencies, remembering which
   // link each arc came from. GraphBuilder merges parallel edges, which
   // would lose link identity — so route over an explicit adjacency list
-  // instead of graph::Graph.
+  // instead of graph::Graph. Down links, and links touching a down node,
+  // are excluded here so the Dijkstra below never sees them.
   struct Adj {
     NodeId to;
     LinkId link;
@@ -33,6 +62,9 @@ RoutingTables RoutingTables::build(const Network& network) {
   std::vector<std::vector<Adj>> adjacency(static_cast<std::size_t>(n));
   for (LinkId l = 0; l < network.link_count(); ++l) {
     const topology::Link& link = network.link(l);
+    if (!link_active(l) || !node_active(link.a) || !node_active(link.b)) {
+      continue;
+    }
     adjacency[static_cast<std::size_t>(link.a)].push_back(
         {link.b, l, link.latency_s});
     adjacency[static_cast<std::size_t>(link.b)].push_back(
@@ -52,7 +84,17 @@ RoutingTables RoutingTables::build(const Network& network) {
   std::vector<LinkId> parent_link(static_cast<std::size_t>(n));
   std::vector<char> done(static_cast<std::size_t>(n));
 
+  // Component labels double as the reachability answer and as an early-out:
+  // two nodes are routable iff they share a label. Down nodes keep -1.
+  std::vector<int> component(static_cast<std::size_t>(n), -1);
+  int component_count = 0;
+  int inactive_nodes = 0;
+
   for (NodeId src = 0; src < n; ++src) {
+    if (!node_active(src)) {
+      ++inactive_nodes;
+      continue;
+    }
     constexpr double kInf = std::numeric_limits<double>::infinity();
     std::fill(dist.begin(), dist.end(), kInf);
     std::fill(parent.begin(), parent.end(), -1);
@@ -89,9 +131,14 @@ RoutingTables RoutingTables::build(const Network& network) {
         }
       }
     }
-    MASSF_REQUIRE(settle_order.size() == static_cast<std::size_t>(n),
-                  "network is not connected; node unreachable from "
-                      << network.node(src).name);
+    // Label src's component on its first settle; unreachable pairs simply
+    // keep the -1 entries assigned above.
+    if (component[static_cast<std::size_t>(src)] < 0) {
+      const int label = component_count++;
+      for (NodeId v : settle_order) {
+        component[static_cast<std::size_t>(v)] = label;
+      }
+    }
 
     // Propagate first hops in settle order: parent settles before child.
     for (NodeId v : settle_order) {
@@ -111,6 +158,11 @@ RoutingTables RoutingTables::build(const Network& network) {
             tables.next_link_[tables.index(src, p)];
       }
     }
+  }
+  if (reachability) {
+    reachability->component = std::move(component);
+    reachability->component_count = component_count;
+    reachability->inactive_nodes = inactive_nodes;
   }
   return tables;
 }

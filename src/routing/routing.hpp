@@ -20,20 +20,63 @@ using topology::LinkId;
 using topology::Network;
 using topology::NodeId;
 
+/// Connectivity summary of a (possibly degraded) network: connected
+/// components over the *active* subgraph. Produced by
+/// RoutingTables::build_partial so callers can reason about which pairs are
+/// routable instead of discovering disconnection through an exception.
+struct Reachability {
+  /// Component id per node; -1 for nodes that are down (excluded).
+  std::vector<int> component;
+  /// Number of connected components among the active nodes.
+  int component_count = 0;
+  /// Nodes excluded from routing (down routers/hosts).
+  int inactive_nodes = 0;
+
+  bool node_active(NodeId v) const {
+    return component[static_cast<std::size_t>(v)] >= 0;
+  }
+  /// True when a and b are both active and in the same component.
+  bool pair_reachable(NodeId a, NodeId b) const {
+    const int ca = component[static_cast<std::size_t>(a)];
+    return ca >= 0 && ca == component[static_cast<std::size_t>(b)];
+  }
+  /// One component covering every node: the classic fully-routable case.
+  bool fully_connected() const {
+    return component_count <= 1 && inactive_nodes == 0;
+  }
+};
+
 /// Complete next-hop tables (n² entries). For the network sizes in the
 /// paper (≤ ~600 nodes) the dense form is a few MB and O(1) to query.
 class RoutingTables {
  public:
   /// Build tables for the whole network (Dijkstra from every node over link
-  /// latency). Throws if the network is not connected.
+  /// latency). Throws std::invalid_argument if the network is not connected
+  /// — use build_partial when disconnection is an expected input.
   static RoutingTables build(const Network& network);
+
+  /// Build tables for the surviving subgraph: links with `links_up[l] == 0`
+  /// and nodes with `nodes_up[v] == 0` are excluded (null masks mean
+  /// "everything up"). Never throws on disconnection: unreachable pairs get
+  /// next_hop/next_link of -1, and `reachability` (if non-null) receives
+  /// the component structure. The Dijkstra order and tie-breaking are
+  /// identical to build(), so with full masks the tables are bit-identical.
+  static RoutingTables build_partial(const Network& network,
+                                     Reachability* reachability = nullptr,
+                                     const std::vector<char>* links_up = nullptr,
+                                     const std::vector<char>* nodes_up = nullptr);
 
   NodeId node_count() const { return n_; }
 
   /// Next node on the path src → dst (== dst when adjacent; src itself when
-  /// src == dst).
+  /// src == dst; -1 when dst is unreachable in a partial table).
   NodeId next_hop(NodeId src, NodeId dst) const {
     return next_hop_[index(src, dst)];
+  }
+
+  /// True when a path src → dst exists in these tables.
+  bool reachable(NodeId src, NodeId dst) const {
+    return src == dst || next_hop_[index(src, dst)] >= 0;
   }
 
   /// The link carrying traffic from src toward dst (-1 when src == dst).

@@ -92,6 +92,8 @@ Network read_netdesc(const std::string& text) {
     try {
       if (tokens[0] == "router" || tokens[0] == "host") {
         if (tokens.size() != 3) fail("expected: " + tokens[0] + " <name> as=<int>");
+        if (net.find_node(tokens[1]) >= 0)
+          fail("duplicate node name '" + tokens[1] + "'");
         const int as_id = parse_as(tokens[2]);
         if (tokens[0] == "router")
           net.add_router(tokens[1], as_id);
@@ -104,8 +106,16 @@ Network read_netdesc(const std::string& text) {
         const NodeId b = net.find_node(tokens[2]);
         if (a < 0) fail("unknown node '" + tokens[1] + "'");
         if (b < 0) fail("unknown node '" + tokens[2] + "'");
-        net.add_link(a, b, parse_bandwidth(tokens[3]),
-                     parse_latency(tokens[4]));
+        if (a == b)
+          fail("self-loop link on node '" + tokens[1] + "' (a link must join "
+               "two distinct nodes)");
+        const double bandwidth = parse_bandwidth(tokens[3]);
+        const double latency = parse_latency(tokens[4]);
+        if (bandwidth <= 0)
+          fail("link bandwidth must be positive, got " + tokens[3]);
+        if (latency <= 0)
+          fail("link latency must be positive, got " + tokens[4]);
+        net.add_link(a, b, bandwidth, latency);
       } else {
         fail("unknown directive '" + tokens[0] + "'");
       }

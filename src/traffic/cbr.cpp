@@ -15,8 +15,11 @@ constexpr int kTagCbr = 300;
 class CbrSender : public emu::AppEndpoint {
  public:
   CbrSender(std::vector<CbrFlowSpec> flows, double duration,
-            std::uint64_t seed)
-      : flows_(std::move(flows)), duration_(duration), rng_(seed) {}
+            std::uint64_t seed, bool reliable)
+      : flows_(std::move(flows)),
+        duration_(duration),
+        rng_(seed),
+        reliable_(reliable) {}
 
   void start(emu::AppApi& api) override {
     for (std::size_t i = 0; i < flows_.size(); ++i)
@@ -38,7 +41,10 @@ class CbrSender : public emu::AppEndpoint {
       emu::AppApi api(emulator, self);
       if (api.now() >= duration_) return;
       const CbrFlowSpec& flow = flows_[index];
-      api.send(flow.dst, flow.message_bytes, kTagCbr);
+      if (reliable_)
+        api.send_reliable(flow.dst, flow.message_bytes, kTagCbr);
+      else
+        api.send(flow.dst, flow.message_bytes, kTagCbr);
       arm(emulator, self, index, /*first=*/false);
     });
   }
@@ -46,6 +52,7 @@ class CbrSender : public emu::AppEndpoint {
   std::vector<CbrFlowSpec> flows_;
   double duration_;
   Rng rng_;
+  bool reliable_;
 };
 
 /// Sink endpoint (messages need a receiver object only if someone reacts;
@@ -77,7 +84,8 @@ void CbrTraffic::install(emu::Emulator& emulator) const {
         static_cast<NodeId>(h),
         std::make_unique<CbrSender>(std::move(by_host[h]),
                                     params_.duration_s,
-                                    mix_seed(params_.seed, h)));
+                                    mix_seed(params_.seed, h),
+                                    params_.reliable));
   }
 }
 

@@ -26,6 +26,9 @@ struct CbrFlowSpec {
 struct CbrParams {
   double duration_s = 60;
   std::uint64_t seed = 5;
+  /// Send via the reliable layer (ACK + retransmit on timeout): the flow
+  /// survives transient link/router faults at the cost of retransmissions.
+  bool reliable = false;
 };
 
 class CbrTraffic : public Workload {

@@ -52,9 +52,12 @@ void validate_graph(const TaskGraph& graph) {
 }
 
 /// Mutable per-run workflow state shared by one install's endpoints.
+/// arrived[t] is only touched on task t's host's engine, so sharing the
+/// struct across endpoints stays race-free in threaded mode.
 struct RunState {
   TaskGraph graph;
   std::vector<int> arrived;  // inputs received so far, per task
+  bool reliable = false;
 };
 
 class WorkflowEndpoint : public emu::AppEndpoint {
@@ -102,6 +105,8 @@ class WorkflowEndpoint : public emu::AppEndpoint {
           if (++state_->arrived[static_cast<std::size_t>(succ)] ==
               successor.inputs_required)
             fire(api, succ);
+        } else if (state_->reliable) {
+          api.send_reliable(successor.host, bytes, succ);
         } else {
           api.send(successor.host, bytes, succ);
         }
@@ -308,8 +313,11 @@ TaskGraph make_gridnpb_graph(const std::vector<NodeId>& hosts,
   return builder.take();
 }
 
-WorkflowApp::WorkflowApp(TaskGraph graph, double nominal_duration)
-    : graph_(std::move(graph)), nominal_duration_(nominal_duration) {
+WorkflowApp::WorkflowApp(TaskGraph graph, double nominal_duration,
+                         bool reliable)
+    : graph_(std::move(graph)),
+      nominal_duration_(nominal_duration),
+      reliable_(reliable) {
   validate_graph(graph_);
   MASSF_REQUIRE(nominal_duration_ > 0, "duration must be positive");
 }
@@ -318,6 +326,7 @@ void WorkflowApp::install(emu::Emulator& emulator) const {
   auto state = std::make_shared<RunState>();
   state->graph = graph_;
   state->arrived.assign(graph_.tasks.size(), 0);
+  state->reliable = reliable_;
 
   std::vector<char> installed(
       static_cast<std::size_t>(emulator.network().node_count()), 0);
@@ -344,7 +353,7 @@ WorkflowApp make_gridnpb(const std::vector<NodeId>& hosts,
   // (9 tasks) at the mean task weight, plus transfer slack.
   const double nominal =
       params.rounds * 9.5 * params.unit_compute_s * 1.3 + 60.0;
-  return WorkflowApp(std::move(graph), nominal);
+  return WorkflowApp(std::move(graph), nominal, params.reliable);
 }
 
 }  // namespace massf::traffic

@@ -51,12 +51,16 @@ struct GridNpbParams {
   /// Compute time of a "unit" task; individual tasks vary around it.
   double unit_compute_s = 6.0;
   std::uint64_t seed = 13;
+  /// Ship inter-task data via the reliable layer so the DAG completes
+  /// across transient faults (a lost edge transfer stalls its successor
+  /// forever otherwise).
+  bool reliable = false;
 };
 
 /// Workflow executor usable for any TaskGraph (exposed for tests/examples).
 class WorkflowApp : public Workload {
  public:
-  WorkflowApp(TaskGraph graph, double nominal_duration);
+  WorkflowApp(TaskGraph graph, double nominal_duration, bool reliable = false);
 
   void install(emu::Emulator& emulator) const override;
   std::vector<NodeId> injection_points() const override;
@@ -67,6 +71,7 @@ class WorkflowApp : public Workload {
  private:
   TaskGraph graph_;
   double nominal_duration_;
+  bool reliable_;
 };
 
 /// Build the paper's combined HC + VP + MB workload over the given hosts

@@ -21,6 +21,7 @@ struct Schedule {
   std::vector<double> panel_bytes;
   std::vector<double> update_bytes;
   std::vector<double> compute_s;
+  bool reliable = false;
 
   int ranks() const { return static_cast<int>(hosts.size()); }
   int iterations() const { return static_cast<int>(panel_bytes.size()); }
@@ -63,13 +64,12 @@ class ScalapackRank : public emu::AppEndpoint {
           emu::AppApi api(emulator, self);
           const int next_rank = (rank_ + 1) % schedule_->ranks();
           if (next_rank != rank_)
-            api.send(schedule_->hosts[static_cast<std::size_t>(next_rank)],
-                     schedule_->update_bytes[static_cast<std::size_t>(
-                         iteration)],
-                     (iteration << 8) | kTagUpdate);
+            post(api, schedule_->hosts[static_cast<std::size_t>(next_rank)],
+                 schedule_->update_bytes[static_cast<std::size_t>(iteration)],
+                 (iteration << 8) | kTagUpdate);
           const int owner = schedule_->owner(iteration);
-          api.send(schedule_->hosts[static_cast<std::size_t>(owner)], 256,
-                   (iteration << 8) | kTagAck);
+          post(api, schedule_->hosts[static_cast<std::size_t>(owner)], 256,
+               (iteration << 8) | kTagAck);
         });
         break;
       }
@@ -93,8 +93,8 @@ class ScalapackRank : public emu::AppEndpoint {
               // The panel broadcast of iteration `next` starts at its
               // owner; send it the baton (tiny message tagged as that
               // iteration's panel trigger).
-              api.send(schedule_->hosts[static_cast<std::size_t>(next_owner)],
-                       128, (next << 8) | kTagBaton);
+              post(api, schedule_->hosts[static_cast<std::size_t>(next_owner)],
+                   128, (next << 8) | kTagBaton);
             }
           });
         }
@@ -111,13 +111,22 @@ class ScalapackRank : public emu::AppEndpoint {
   }
 
  private:
+  /// All protocol traffic goes through here so the reliable flag applies
+  /// to every message kind (a lost control message stalls the ring).
+  void post(emu::AppApi& api, NodeId dst, double bytes, int tag) {
+    if (schedule_->reliable)
+      api.send_reliable(dst, bytes, tag);
+    else
+      api.send(dst, bytes, tag);
+  }
+
   void begin_iteration(emu::AppApi& api, int iteration) {
     const double bytes =
         schedule_->panel_bytes[static_cast<std::size_t>(iteration)];
     for (int r = 0; r < schedule_->ranks(); ++r) {
       if (r == rank_) continue;
-      api.send(schedule_->hosts[static_cast<std::size_t>(r)], bytes,
-               (iteration << 8) | kTagPanel);
+      post(api, schedule_->hosts[static_cast<std::size_t>(r)], bytes,
+           (iteration << 8) | kTagPanel);
     }
   }
 
@@ -173,6 +182,7 @@ double ScalapackApp::duration() const {
 void ScalapackApp::install(emu::Emulator& emulator) const {
   auto schedule = std::make_shared<Schedule>();
   schedule->hosts = hosts_;
+  schedule->reliable = params_.reliable;
   for (int k = 0; k < iterations(); ++k) {
     schedule->panel_bytes.push_back(panel_bytes(k));
     schedule->update_bytes.push_back(update_bytes(k));

@@ -33,6 +33,10 @@ struct ScalapackParams {
   /// app runs ~10 simulated minutes like the paper's.
   double total_compute_s = 420;
   std::uint64_t seed = 11;
+  /// Send every protocol message via the reliable layer: the factorization
+  /// completes across transient faults instead of deadlocking on a lost
+  /// panel/ack (a lost control message stalls the whole iteration ring).
+  bool reliable = false;
 };
 
 class ScalapackApp : public Workload {

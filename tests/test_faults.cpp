@@ -1,0 +1,522 @@
+// Fault-injection subsystem tests: FaultPlan validation and generation,
+// FaultTimeline epoch compilation, epoch-based rerouting, in-flight drops,
+// ICMP-unreachable, the reliable-delivery layer, drop accounting, and
+// Sequential-vs-Threaded determinism under an active fault plan.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "emu/emulator.hpp"
+#include "fault/fault.hpp"
+#include "routing/routing.hpp"
+#include "topology/topologies.hpp"
+#include "traffic/gridnpb.hpp"
+#include "traffic/scalapack.hpp"
+
+namespace massf::fault {
+namespace {
+
+using emu::AppApi;
+using emu::AppEndpoint;
+using emu::AppMessage;
+using emu::Emulator;
+using emu::EmulatorConfig;
+using emu::EmulatorStats;
+using emu::EpochStats;
+using emu::Packet;
+using emu::PacketKind;
+using routing::RoutingTables;
+using topology::Gbps;
+using topology::make_campus;
+using topology::Mbps;
+using topology::milliseconds;
+using topology::Network;
+
+/// a --- r0 --- r1 --- b with named link ids (single path end to end).
+struct LineFixture {
+  Network net;
+  NodeId a, r0, r1, b;
+  LinkId l_a_r0, l_r0_r1, l_r1_b;
+  std::unique_ptr<RoutingTables> tables;
+
+  LineFixture() {
+    a = net.add_host("a", 0);
+    r0 = net.add_router("r0", 0);
+    r1 = net.add_router("r1", 0);
+    b = net.add_host("b", 0);
+    l_a_r0 = net.add_link(a, r0, Mbps(100), milliseconds(1));
+    l_r0_r1 = net.add_link(r0, r1, Gbps(1), milliseconds(5));
+    l_r1_b = net.add_link(r1, b, Mbps(100), milliseconds(1));
+    tables = std::make_unique<RoutingTables>(RoutingTables::build(net));
+  }
+
+  Emulator make(EmulatorConfig config = {}) {
+    return Emulator(net, *tables, {0, 0, 0, 0}, 1, config);
+  }
+};
+
+std::uint64_t conservation_rhs(const EmulatorStats& s) {
+  return s.trains_delivered + s.trains_dropped + s.trains_dropped_fault +
+         s.trains_dropped_unreachable + s.trains_expired;
+}
+
+TEST(FaultPlan, ValidateRejectsBadEvents) {
+  LineFixture fx;
+  {
+    FaultPlan plan;
+    plan.link_down(99, 1.0);  // no such link
+    EXPECT_THROW(plan.validate(fx.net), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.router_down(fx.a, 1.0);  // a is a host, not a router
+    EXPECT_THROW(plan.validate(fx.net), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.link_down(fx.l_r0_r1, -1.0);  // negative time
+    EXPECT_THROW(plan.validate(fx.net), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    EXPECT_THROW(plan.link_outage(fx.l_r0_r1, 5.0, 5.0),  // from < to required
+                 std::invalid_argument);
+  }
+  FaultPlan good;
+  good.link_outage(fx.l_r0_r1, 5.0, 10.0);
+  good.router_outage(fx.r1, 12.0, 13.0);
+  EXPECT_NO_THROW(good.validate(fx.net));
+  EXPECT_EQ(good.events().size(), 4u);
+}
+
+TEST(FaultTimeline, CompilesEpochsWithReachability) {
+  LineFixture fx;
+  FaultPlan plan;
+  plan.link_outage(fx.l_r0_r1, 5.0, 10.0);
+  FaultTimeline timeline(fx.net, plan);
+
+  ASSERT_EQ(timeline.epoch_count(), 3u);
+  EXPECT_DOUBLE_EQ(timeline.epoch(0).start, 0.0);
+  EXPECT_DOUBLE_EQ(timeline.epoch(1).start, 5.0);
+  EXPECT_DOUBLE_EQ(timeline.epoch(2).start, 10.0);
+  EXPECT_EQ(timeline.epoch_at(0.0), 0u);
+  EXPECT_EQ(timeline.epoch_at(4.999), 0u);
+  EXPECT_EQ(timeline.epoch_at(5.0), 1u);
+  EXPECT_EQ(timeline.epoch_at(9.999), 1u);
+  EXPECT_EQ(timeline.epoch_at(100.0), 2u);
+
+  // Epoch 0: everything up, fully connected.
+  EXPECT_EQ(timeline.epoch(0).links_down, 0);
+  EXPECT_TRUE(timeline.epoch(0).reach.fully_connected());
+  EXPECT_TRUE(timeline.epoch(0).routes->reachable(fx.a, fx.b));
+
+  // Epoch 1: the middle link is down — two components, a and b split.
+  const FaultTimeline::Epoch& outage = timeline.epoch(1);
+  EXPECT_EQ(outage.links_down, 1);
+  EXPECT_FALSE(timeline.link_up(1, fx.l_r0_r1));
+  EXPECT_EQ(outage.reach.component_count, 2);
+  EXPECT_FALSE(outage.reach.pair_reachable(fx.a, fx.b));
+  EXPECT_TRUE(outage.reach.pair_reachable(fx.a, fx.r0));
+  EXPECT_FALSE(outage.routes->reachable(fx.a, fx.b));
+  EXPECT_EQ(outage.routes->next_link(fx.a, fx.b), -1);
+  EXPECT_EQ(outage.routes->next_link(fx.a, fx.r0), fx.l_a_r0);
+
+  // Epoch 2 restores the epoch-0 state and shares its routing tables.
+  EXPECT_EQ(timeline.epoch(2).links_down, 0);
+  EXPECT_EQ(timeline.epoch(2).routes.get(), timeline.epoch(0).routes.get());
+}
+
+TEST(FaultTimeline, RouterDownExcludesItsLinks) {
+  LineFixture fx;
+  FaultPlan plan;
+  plan.router_outage(fx.r1, 2.0, 4.0);
+  FaultTimeline timeline(fx.net, plan);
+  ASSERT_EQ(timeline.epoch_count(), 3u);
+  const FaultTimeline::Epoch& outage = timeline.epoch(1);
+  EXPECT_EQ(outage.nodes_down, 1);
+  EXPECT_FALSE(timeline.node_up(1, fx.r1));
+  EXPECT_FALSE(outage.reach.node_active(fx.r1));
+  EXPECT_EQ(outage.reach.inactive_nodes, 1);
+  // b hangs off r1 only: with r1 down it is its own component.
+  EXPECT_FALSE(outage.reach.pair_reachable(fx.a, fx.b));
+  EXPECT_TRUE(outage.reach.pair_reachable(fx.a, fx.r0));
+  EXPECT_EQ(outage.routes->next_link(fx.r0, fx.b), -1);
+}
+
+TEST(FaultPlan, RandomIsDeterministicAndNonOverlapping) {
+  const Network net = make_campus();
+  RandomFaultParams params;
+  params.seed = 77;
+  params.horizon_s = 40.0;
+  params.link_faults = 4;
+  params.router_faults = 2;
+  const FaultPlan one = FaultPlan::random(net, params);
+  const FaultPlan two = FaultPlan::random(net, params);
+  ASSERT_EQ(one.events().size(), two.events().size());
+  EXPECT_GT(one.size(), 0u);
+  for (std::size_t i = 0; i < one.events().size(); ++i) {
+    EXPECT_DOUBLE_EQ(one.events()[i].time, two.events()[i].time);
+    EXPECT_EQ(one.events()[i].kind, two.events()[i].kind);
+    EXPECT_EQ(one.events()[i].id, two.events()[i].id);
+  }
+  EXPECT_NO_THROW(one.validate(net));
+  // routers_only: every faulted link joins two routers, every faulted node
+  // is a router; and per-resource outages never overlap.
+  std::vector<double> link_last_up(static_cast<std::size_t>(net.link_count()),
+                                   -1.0);
+  for (const FaultEvent& e : one.events()) {
+    if (e.kind == FaultKind::LinkDown) {
+      const topology::Link& link = net.link(e.id);
+      EXPECT_EQ(net.node(link.a).kind, topology::NodeKind::Router);
+      EXPECT_EQ(net.node(link.b).kind, topology::NodeKind::Router);
+      EXPECT_GE(e.time, link_last_up[static_cast<std::size_t>(e.id)]);
+    } else if (e.kind == FaultKind::LinkUp) {
+      link_last_up[static_cast<std::size_t>(e.id)] = e.time;
+    } else {
+      EXPECT_EQ(net.node(e.id).kind, topology::NodeKind::Router);
+    }
+  }
+  // The timeline compiles without throwing even if a random plan severs
+  // part of the network.
+  EXPECT_NO_THROW(FaultTimeline(net, one));
+  // A different seed gives a different plan.
+  params.seed = 78;
+  const FaultPlan other = FaultPlan::random(net, params);
+  bool differs = other.events().size() != one.events().size();
+  for (std::size_t i = 0; !differs && i < one.events().size(); ++i)
+    differs = one.events()[i].time != other.events()[i].time ||
+              one.events()[i].id != other.events()[i].id;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Faults, InFlightTrainIsCutAndCounted) {
+  LineFixture fx;
+  EmulatorConfig config;
+  config.train_packets = 1;
+  Emulator emu = fx.make(config);
+  FaultPlan plan;
+  // 1000 bytes leaves a at ~1.00008, reaches r0 at ~1.00108, and crosses
+  // the middle link until ~1.00609 — the link dies at 1.002, mid-flight.
+  plan.link_outage(fx.l_r0_r1, 1.002, 50.0);
+  FaultTimeline timeline(fx.net, plan);
+  emu.set_fault_timeline(&timeline);
+  emu.send_message(fx.a, fx.b, 1000, 0, 1.0);
+  emu.run(10.0);
+  const EmulatorStats stats = emu.stats();
+  EXPECT_EQ(stats.trains_dropped_fault, 1u);
+  EXPECT_EQ(stats.messages_delivered, 0u);
+  EXPECT_EQ(stats.trains_injected, conservation_rhs(stats));
+  const std::vector<EpochStats> epochs = emu.epoch_stats();
+  ASSERT_EQ(epochs.size(), 3u);
+  EXPECT_EQ(epochs[1].trains_dropped_fault, 1u);
+  EXPECT_EQ(epochs[1].links_down, 1);
+}
+
+TEST(Faults, UnreachableDestinationGetsIcmpUnreachable) {
+  LineFixture fx;
+  Emulator emu = fx.make();
+  FaultPlan plan;
+  plan.link_outage(fx.l_r0_r1, 0.5, 50.0);
+  FaultTimeline timeline(fx.net, plan);
+  emu.set_fault_timeline(&timeline);
+  int unreachable_reports = 0;
+  emu.set_icmp_handler([&](const Packet& packet, des::SimTime) {
+    if (packet.kind == PacketKind::IcmpUnreachable) ++unreachable_reports;
+  });
+  emu.send_message(fx.a, fx.b, 3000, 0, 1.0);  // source has no route
+  emu.run(10.0);
+  const EmulatorStats stats = emu.stats();
+  EXPECT_GT(stats.trains_dropped_unreachable, 0u);
+  EXPECT_GT(stats.icmp_unreachable_sent, 0u);
+  EXPECT_GT(unreachable_reports, 0);
+  EXPECT_EQ(stats.messages_delivered, 0u);
+  EXPECT_EQ(stats.trains_injected, conservation_rhs(stats));
+}
+
+TEST(Reliability, MessageSurvivesLinkOutageWithRetransmissions) {
+  LineFixture fx;
+  Emulator emu = fx.make();
+  FaultPlan plan;
+  plan.link_outage(fx.l_r0_r1, 0.5, 3.0);
+  FaultTimeline timeline(fx.net, plan);
+  emu.set_fault_timeline(&timeline);
+  // Sent mid-outage: attempt 1 (t=1) and attempt 2 (t=2) hit the dead
+  // link; attempt 3 (t=4, after exponential backoff) goes through.
+  emu.send_reliable(fx.a, fx.b, 3000, 7, 1.0);
+  emu.run(20.0);
+  const EmulatorStats stats = emu.stats();
+  EXPECT_EQ(stats.reliable_messages_sent, 1u);
+  EXPECT_EQ(stats.reliable_messages_delivered, 1u);
+  EXPECT_EQ(stats.reliable_messages_acked, 1u);
+  EXPECT_EQ(stats.reliable_messages_failed, 0u);
+  EXPECT_EQ(stats.retransmissions, 2u);
+  EXPECT_EQ(stats.messages_delivered, 1u);
+  EXPECT_EQ(stats.trains_injected, conservation_rhs(stats));
+  // The recovery lands in the post-repair epoch with its latency recorded.
+  const std::vector<EpochStats> epochs = emu.epoch_stats();
+  ASSERT_EQ(epochs.size(), 3u);
+  EXPECT_EQ(epochs[2].reliable_recovered, 1u);
+  EXPECT_GT(epochs[2].max_recovery_s, 2.9);  // ACK at ~4.01, sent at 1.0
+  EXPECT_EQ(epochs[1].retransmissions + epochs[2].retransmissions, 2u);
+}
+
+TEST(Reliability, RetryBudgetExhaustionFailsTheMessage) {
+  LineFixture fx;
+  EmulatorConfig config;
+  config.reliable.base_timeout_s = 0.25;
+  config.reliable.max_retries = 2;
+  Emulator emu = fx.make(config);
+  FaultPlan plan;
+  plan.link_down(fx.l_r0_r1, 0.5);  // never repaired
+  FaultTimeline timeline(fx.net, plan);
+  emu.set_fault_timeline(&timeline);
+  emu.send_reliable(fx.a, fx.b, 3000, 7, 1.0);
+  emu.run(20.0);
+  const EmulatorStats stats = emu.stats();
+  EXPECT_EQ(stats.reliable_messages_failed, 1u);
+  EXPECT_EQ(stats.reliable_messages_delivered, 0u);
+  EXPECT_EQ(stats.retransmissions, 2u);
+  EXPECT_EQ(stats.trains_injected, conservation_rhs(stats));
+}
+
+TEST(Reliability, DuplicateDeliveriesAreSuppressed) {
+  LineFixture fx;
+  // Timeout shorter than the round trip: the original arrives, but so do
+  // retransmits fired before the first ACK lands. The endpoint must see
+  // the message exactly once.
+  EmulatorConfig config;
+  config.reliable.base_timeout_s = 0.001;  // < ~14 ms RTT
+  config.reliable.max_retries = 3;
+  Emulator emu = fx.make(config);
+
+  class Counter : public AppEndpoint {
+   public:
+    void receive(AppApi&, const AppMessage&) override { ++received; }
+    int received = 0;
+  };
+  auto counter = std::make_unique<Counter>();
+  Counter* raw = counter.get();
+  emu.install_endpoint(fx.b, std::move(counter));
+  emu.send_reliable(fx.a, fx.b, 1000, 0, 1.0);
+  emu.run(20.0);
+  const EmulatorStats stats = emu.stats();
+  EXPECT_EQ(raw->received, 1);
+  EXPECT_EQ(stats.reliable_messages_delivered, 1u);
+  EXPECT_GT(stats.duplicate_deliveries, 0u);
+  EXPECT_GT(stats.retransmissions, 0u);
+  EXPECT_EQ(stats.reliable_messages_failed, 0u);
+  EXPECT_EQ(stats.trains_injected, conservation_rhs(stats));
+}
+
+TEST(Faults, CampusReroutesAroundRedundantLink) {
+  const Network net = make_campus();
+  const RoutingTables tables = RoutingTables::build(net);
+  const NodeId dist0 = net.find_node("dist0");
+  ASSERT_GE(dist0, 0);
+  // dist0 is dual-homed to two cores; cut its first core uplink. The
+  // network stays connected, so traffic reroutes with zero unreachables.
+  LinkId uplink = -1;
+  for (LinkId l : net.incident_links(dist0)) {
+    const NodeId other = net.link_other_end(l, dist0);
+    if (net.node(other).name.rfind("core", 0) == 0) {
+      uplink = l;
+      break;
+    }
+  }
+  ASSERT_GE(uplink, 0);
+
+  FaultPlan plan;
+  plan.link_outage(uplink, 10.25, 20.25);
+  FaultTimeline timeline(net, plan);
+  // Both outage epochs keep the campus fully connected.
+  EXPECT_TRUE(timeline.epoch(1).reach.fully_connected());
+
+  std::vector<int> placement(static_cast<std::size_t>(net.node_count()), 0);
+  Emulator emu(net, tables, std::move(placement), 1);
+  emu.set_fault_timeline(&timeline);
+  const auto hosts = net.hosts();
+  // Sends at k*0.5 s: no train is in flight (~tens of ms) at the cut or
+  // repair instants, so every message must still be delivered.
+  for (int k = 0; k < 60; ++k)
+    emu.send_message(hosts[0], hosts[hosts.size() - 1], 6000, k, 0.5 * k);
+  emu.run(40.0);
+  const EmulatorStats stats = emu.stats();
+  EXPECT_EQ(stats.messages_sent, 60u);
+  EXPECT_EQ(stats.messages_delivered, 60u);
+  EXPECT_EQ(stats.trains_dropped_unreachable, 0u);
+  EXPECT_EQ(stats.trains_dropped_fault, 0u);
+}
+
+TEST(DropAccounting, BothDirectionsFeedTheLedger) {
+  // Single bottleneck link flooded in both directions: trains_dropped must
+  // equal the per-direction link_drops sum, with drops on each direction.
+  Network net;
+  const NodeId a = net.add_host("a", 0);
+  const NodeId b = net.add_host("b", 0);
+  const LinkId ab = net.add_link(a, b, Mbps(10), milliseconds(1));
+  const RoutingTables tables = RoutingTables::build(net);
+  EmulatorConfig config;
+  config.max_queue_delay = 0.005;
+  Emulator emu(net, tables, {0, 0}, 1, config);
+  for (int i = 0; i < 50; ++i) {
+    emu.send_message(a, b, 15000, 0, 0.0);
+    emu.send_message(b, a, 15000, 0, 0.0);
+  }
+  emu.run(10.0);
+  const EmulatorStats stats = emu.stats();
+  EXPECT_GT(emu.link_drops(ab, 0), 0u);
+  EXPECT_GT(emu.link_drops(ab, 1), 0u);
+  EXPECT_EQ(stats.trains_dropped, emu.link_drops(ab, 0) + emu.link_drops(ab, 1));
+  EXPECT_EQ(stats.trains_injected, conservation_rhs(stats));
+}
+
+TEST(Reliability, ScalapackCompletesAcrossAnOutage) {
+  // Without the reliable layer a lost panel/ack deadlocks the iteration
+  // ring; with it the factorization completes across a 3 s outage of
+  // rank 0's only uplink.
+  const Network net = make_campus();
+  const RoutingTables tables = RoutingTables::build(net);
+  const auto hosts = net.hosts();
+  traffic::ScalapackParams params;
+  params.matrix_n = 600;
+  params.block_nb = 100;
+  params.total_compute_s = 12;
+  params.reliable = true;
+  const traffic::ScalapackApp app(
+      {hosts[0], hosts[5], hosts[10], hosts[15]}, params);
+
+  const auto uplink =
+      net.find_link(net.find_node("acc0"), net.find_node("dist0"));
+  ASSERT_TRUE(uplink.has_value());
+  FaultPlan plan;
+  plan.link_outage(*uplink, 2.0, 5.0);  // hosts[0] unreachable for 3 s
+  FaultTimeline timeline(net, plan);
+
+  std::vector<int> placement(static_cast<std::size_t>(net.node_count()), 0);
+  Emulator emu(net, tables, std::move(placement), 1);
+  emu.set_fault_timeline(&timeline);
+  app.install(emu);
+  emu.run(300.0);
+  const EmulatorStats stats = emu.stats();
+  // 6 iterations × (3 panels + 3 updates + 3 acks) + 5 batons (one per
+  // iteration handoff), all reliable.
+  EXPECT_EQ(stats.messages_sent, 6u * 9u + 5u);
+  EXPECT_EQ(stats.messages_delivered, stats.messages_sent);
+  EXPECT_EQ(stats.reliable_messages_sent, stats.messages_sent);
+  EXPECT_EQ(stats.reliable_messages_acked, stats.messages_sent);
+  EXPECT_EQ(stats.reliable_messages_failed, 0u);
+  EXPECT_GT(stats.retransmissions, 0u);
+  EXPECT_EQ(stats.trains_injected, conservation_rhs(stats));
+}
+
+TEST(Reliability, GridNpbReliableFlagRoutesThroughArq) {
+  const Network net = make_campus();
+  const RoutingTables tables = RoutingTables::build(net);
+  auto hosts = net.hosts();
+  hosts.resize(12);
+  traffic::GridNpbParams params;
+  params.rounds = 1;
+  params.unit_compute_s = 0.2;
+  params.unit_bytes = 30e3;
+  params.reliable = true;
+  const traffic::WorkflowApp app = traffic::make_gridnpb(hosts, params);
+
+  std::vector<int> placement(static_cast<std::size_t>(net.node_count()), 0);
+  Emulator emu(net, tables, std::move(placement), 1);
+  app.install(emu);
+  emu.run(1000.0);
+  const EmulatorStats stats = emu.stats();
+  EXPECT_GT(stats.reliable_messages_sent, 0u);
+  EXPECT_EQ(stats.reliable_messages_sent, stats.messages_sent);
+  EXPECT_EQ(stats.reliable_messages_acked, stats.reliable_messages_sent);
+  EXPECT_EQ(stats.reliable_messages_failed, 0u);
+  EXPECT_EQ(stats.messages_delivered, stats.messages_sent);
+}
+
+// ---- Determinism under an active fault plan (Sequential vs Threaded) ----
+
+struct FaultRun {
+  des::KernelStats kernel;
+  EmulatorStats emu;
+  std::vector<EpochStats> epochs;
+};
+
+FaultRun run_campus_with_faults(const Network& net, const RoutingTables& tables,
+                                const FaultTimeline& timeline, int engines,
+                                des::ExecutionMode mode) {
+  std::vector<int> placement(static_cast<std::size_t>(net.node_count()));
+  for (std::size_t i = 0; i < placement.size(); ++i)
+    placement[i] = static_cast<int>(i) % engines;
+  EmulatorConfig config;
+  config.reliable.base_timeout_s = 0.5;
+  Emulator emu(net, tables, std::move(placement), engines, config);
+  emu.set_fault_timeline(&timeline);
+
+  const auto hosts = net.hosts();
+  const int n = static_cast<int>(hosts.size());
+  for (int i = 0; i < n; ++i) {
+    const NodeId src = hosts[static_cast<std::size_t>(i)];
+    const NodeId dst = hosts[static_cast<std::size_t>((i * 7 + 3) % n)];
+    if (src == dst) continue;
+    emu.send_message(src, dst, 9000.0 + 500.0 * (i % 5), i, 0.4 * i);
+    if (i % 3 == 0) emu.send_reliable(src, dst, 4000.0, 100 + i, 0.7 * i);
+  }
+  emu.run(30.0, mode);
+  return {emu.kernel_stats(), emu.stats(), emu.epoch_stats()};
+}
+
+TEST(FaultDeterminism, CampusRandomPlanSequentialAndThreadedIdentical) {
+  const Network net = make_campus();
+  const RoutingTables tables = RoutingTables::build(net);
+  RandomFaultParams params;
+  params.seed = 4242;
+  params.horizon_s = 25.0;
+  params.link_faults = 3;
+  params.router_faults = 1;
+  params.mttr_s = 4.0;
+  const FaultPlan plan = FaultPlan::random(net, params);
+  ASSERT_GT(plan.size(), 0u);
+  const FaultTimeline timeline(net, plan);
+  ASSERT_GT(timeline.epoch_count(), 1u);
+
+  for (const int engines : {2, 4}) {
+    const FaultRun seq = run_campus_with_faults(
+        net, tables, timeline, engines, des::ExecutionMode::Sequential);
+    const FaultRun thr = run_campus_with_faults(
+        net, tables, timeline, engines, des::ExecutionMode::Threaded);
+    EXPECT_EQ(seq.kernel.history_hash, thr.kernel.history_hash)
+        << engines << " engines";
+    EXPECT_EQ(seq.kernel.events_per_lp, thr.kernel.events_per_lp)
+        << engines << " engines";
+    EXPECT_NEAR(seq.kernel.modeled_time, thr.kernel.modeled_time, 1e-9);
+    EXPECT_EQ(seq.emu.trains_delivered, thr.emu.trains_delivered);
+    EXPECT_EQ(seq.emu.trains_dropped_fault, thr.emu.trains_dropped_fault);
+    EXPECT_EQ(seq.emu.trains_dropped_unreachable,
+              thr.emu.trains_dropped_unreachable);
+    EXPECT_EQ(seq.emu.retransmissions, thr.emu.retransmissions);
+    EXPECT_EQ(seq.emu.reliable_messages_acked, thr.emu.reliable_messages_acked);
+    ASSERT_EQ(seq.epochs.size(), thr.epochs.size());
+    for (std::size_t e = 0; e < seq.epochs.size(); ++e) {
+      EXPECT_EQ(seq.epochs[e].trains_dropped_fault,
+                thr.epochs[e].trains_dropped_fault)
+          << "epoch " << e;
+      EXPECT_EQ(seq.epochs[e].trains_dropped_unreachable,
+                thr.epochs[e].trains_dropped_unreachable)
+          << "epoch " << e;
+      EXPECT_EQ(seq.epochs[e].retransmissions, thr.epochs[e].retransmissions)
+          << "epoch " << e;
+      EXPECT_EQ(seq.epochs[e].reliable_recovered,
+                thr.epochs[e].reliable_recovered)
+          << "epoch " << e;
+      EXPECT_DOUBLE_EQ(seq.epochs[e].max_recovery_s,
+                       thr.epochs[e].max_recovery_s)
+          << "epoch " << e;
+    }
+    // Every run obeys train conservation, faults included.
+    EXPECT_EQ(seq.emu.trains_injected, conservation_rhs(seq.emu));
+    EXPECT_EQ(thr.emu.trains_injected, conservation_rhs(thr.emu));
+  }
+}
+
+}  // namespace
+}  // namespace massf::fault

@@ -108,5 +108,61 @@ TEST(ProfileReuse, StaleProfileStillMapsWell) {
   EXPECT_LT(metrics.load_imbalance, top.load_imbalance * 0.9);
 }
 
+TEST(Experiment, RejectsDisconnectedNetworkWithActionableError) {
+  topology::Network net;
+  const topology::NodeId a = net.add_host("a", 0);
+  const topology::NodeId b = net.add_host("b", 0);
+  net.add_host("island", 0);  // never linked
+  net.add_link(a, b, topology::Mbps(10), topology::milliseconds(1));
+  // Routing tables for the connected part only, via the partial builder.
+  const routing::RoutingTables routes =
+      routing::RoutingTables::build_partial(net);
+
+  Fixture fx;  // only for a workload object
+  ExperimentSetup setup;
+  setup.network = &net;
+  setup.routes = &routes;
+  setup.workload = fx.http(1);
+  setup.engines = 2;
+  try {
+    Experiment experiment(std::move(setup));
+    FAIL() << "expected the disconnected network to be rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("disconnected"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 components"), std::string::npos) << what;
+    EXPECT_NE(what.find("fault::FaultPlan"), std::string::npos) << what;
+  }
+}
+
+TEST(Experiment, FaultTimelineFlowsThroughRunMetrics) {
+  Fixture fx;
+  fault::FaultPlan plan;
+  // Cut one dist-core uplink mid-run; the campus stays connected.
+  const topology::NodeId dist0 = fx.network.find_node("dist0");
+  ASSERT_GE(dist0, 0);
+  topology::LinkId uplink = -1;
+  for (topology::LinkId l : fx.network.incident_links(dist0)) {
+    if (fx.network.node(fx.network.link_other_end(l, dist0))
+            .name.rfind("core", 0) == 0) {
+      uplink = l;
+      break;
+    }
+  }
+  ASSERT_GE(uplink, 0);
+  plan.link_outage(uplink, 15.0, 30.0);
+  const fault::FaultTimeline timeline(fx.network, plan);
+
+  ExperimentSetup setup = fx.setup(fx.http(1));
+  setup.faults = &timeline;
+  Experiment experiment(std::move(setup));
+  const RunMetrics metrics = experiment.run(experiment.map(Approach::Top));
+  ASSERT_EQ(metrics.epochs.size(), timeline.epoch_count());
+  EXPECT_DOUBLE_EQ(metrics.epochs[1].start, 15.0);
+  EXPECT_DOUBLE_EQ(metrics.epochs[1].end, 30.0);
+  EXPECT_EQ(metrics.epochs[1].links_down, 1);
+  EXPECT_GT(metrics.emulator_stats.messages_delivered, 0u);
+}
+
 }  // namespace
 }  // namespace massf::mapping

@@ -151,5 +151,95 @@ TEST(AggregateFlows, IgnoresSelfAndRejectsNegative) {
                std::invalid_argument);
 }
 
+TEST(RoutingPartial, MatchesBuildOnConnectedNetworks) {
+  for (const Network& net : {make_campus(), make_teragrid()}) {
+    const RoutingTables full = RoutingTables::build(net);
+    Reachability reach;
+    const RoutingTables partial = RoutingTables::build_partial(net, &reach);
+    EXPECT_TRUE(reach.fully_connected());
+    EXPECT_EQ(reach.component_count, 1);
+    EXPECT_EQ(reach.inactive_nodes, 0);
+    for (NodeId s = 0; s < net.node_count(); ++s)
+      for (NodeId d = 0; d < net.node_count(); ++d) {
+        EXPECT_EQ(partial.next_hop(s, d), full.next_hop(s, d));
+        EXPECT_EQ(partial.next_link(s, d), full.next_link(s, d));
+      }
+  }
+}
+
+TEST(RoutingPartial, LabelsComponentsOfDisconnectedInput) {
+  // a - b    c - d : two components; build() refuses with an actionable
+  // message, build_partial() routes within each component.
+  Network net;
+  const NodeId a = net.add_router("a", 0);
+  const NodeId b = net.add_router("b", 0);
+  const NodeId c = net.add_router("c", 0);
+  const NodeId d = net.add_router("d", 0);
+  net.add_link(a, b, topology::Mbps(10), topology::milliseconds(1));
+  net.add_link(c, d, topology::Mbps(10), topology::milliseconds(1));
+
+  try {
+    RoutingTables::build(net);
+    FAIL() << "expected build() to reject a disconnected network";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("not connected"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 components"), std::string::npos) << what;
+    EXPECT_NE(what.find("build_partial"), std::string::npos) << what;
+  }
+
+  Reachability reach;
+  const RoutingTables tables = RoutingTables::build_partial(net, &reach);
+  EXPECT_FALSE(reach.fully_connected());
+  EXPECT_EQ(reach.component_count, 2);
+  EXPECT_EQ(reach.component[a], reach.component[b]);
+  EXPECT_EQ(reach.component[c], reach.component[d]);
+  EXPECT_NE(reach.component[a], reach.component[c]);
+  EXPECT_TRUE(reach.pair_reachable(a, b));
+  EXPECT_FALSE(reach.pair_reachable(a, c));
+  EXPECT_EQ(tables.next_hop(a, b), b);
+  EXPECT_EQ(tables.next_hop(a, c), -1);
+  EXPECT_EQ(tables.next_link(b, d), -1);
+  EXPECT_TRUE(tables.reachable(a, b));
+  EXPECT_FALSE(tables.reachable(b, c));
+  EXPECT_TRUE(tables.reachable(c, c));  // self is always reachable
+}
+
+TEST(RoutingPartial, MasksRemoveLinksAndNodes) {
+  // Campus with one dist router's first core uplink masked off: still
+  // connected via the second uplink. Masking the dist router itself cuts
+  // off its access subtree.
+  const Network net = make_campus();
+  const NodeId dist0 = net.find_node("dist0");
+  const NodeId acc0 = net.find_node("acc0");
+  ASSERT_GE(dist0, 0);
+  ASSERT_GE(acc0, 0);
+
+  std::vector<char> links_up(static_cast<std::size_t>(net.link_count()), 1);
+  for (topology::LinkId l : net.incident_links(dist0)) {
+    const NodeId other = net.link_other_end(l, dist0);
+    if (net.node(other).name.rfind("core", 0) == 0) {
+      links_up[static_cast<std::size_t>(l)] = 0;  // first core uplink
+      break;
+    }
+  }
+  Reachability reach;
+  RoutingTables::build_partial(net, &reach, &links_up);
+  EXPECT_TRUE(reach.fully_connected());
+
+  std::vector<char> nodes_up(static_cast<std::size_t>(net.node_count()), 1);
+  nodes_up[static_cast<std::size_t>(dist0)] = 0;
+  Reachability cut;
+  const RoutingTables tables =
+      RoutingTables::build_partial(net, &cut, nullptr, &nodes_up);
+  EXPECT_FALSE(cut.fully_connected());
+  EXPECT_FALSE(cut.node_active(dist0));
+  EXPECT_EQ(cut.inactive_nodes, 1);
+  // acc0 hangs off dist0 only, so it lost the rest of the campus.
+  const NodeId core0 = net.find_node("core0");
+  EXPECT_FALSE(cut.pair_reachable(acc0, core0));
+  EXPECT_EQ(tables.next_hop(acc0, core0), -1);
+}
+
 }  // namespace
 }  // namespace massf::routing

@@ -187,6 +187,28 @@ TEST(NetDesc, ErrorsCarryLineNumbers) {
   }
 }
 
+TEST(NetDesc, RejectsInvalidInputsWithLineNumbers) {
+  auto expect_rejects = [](const std::string& text, const std::string& line,
+                           const std::string& why) {
+    try {
+      read_netdesc(text);
+      FAIL() << "expected rejection: " << why;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(line), std::string::npos) << what;
+      EXPECT_NE(what.find(why), std::string::npos) << what;
+    }
+  };
+  expect_rejects("host a as=0\nrouter a as=1\n", "line 2",
+                 "duplicate node name 'a'");
+  expect_rejects("router r as=0\nlink r r 1Mbps 1ms\n", "line 2",
+                 "self-loop");
+  expect_rejects("host a as=0\nhost b as=0\nlink a b 0Mbps 1ms\n", "line 3",
+                 "bandwidth must be positive");
+  expect_rejects("host a as=0\nhost b as=0\nlink a b 1Mbps -2ms\n", "line 3",
+                 "latency must be positive");
+}
+
 TEST(NetDesc, RoundTripsEveryTopology) {
   for (const Network& original :
        {make_campus(), make_teragrid(),
