@@ -204,4 +204,19 @@ BENCHMARK(BM_MixedHop_Packet_Threaded)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// The google-benchmark context's "library_build_type" reports how the
+// *installed benchmark library* was built, not this binary. Stamp the
+// binary's own optimization level so a recorded JSON is self-describing
+// (run_kernel_bench.sh additionally refuses to record non-Release builds).
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("binary_build_type", "release");
+#else
+  benchmark::AddCustomContext("binary_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,281 @@
+// A/B benchmark of the two conservative synchronization protocols
+// (SyncMode::GlobalWindow vs SyncMode::ChannelLookahead) on two scenarios:
+//
+//   * dumbbell — raw-kernel heterogeneous topology: two 2-LP sites whose
+//     intra-site channels have millisecond lookahead, joined by a slow
+//     cross-site channel with 50x larger lookahead. Global windows are
+//     sized by the 1 ms minimum, so the whole machine pays one barrier per
+//     millisecond of sim time; per-channel advancement lets each site run
+//     on its own fast channels and only rendezvous for idle spans.
+//   * campus — the paper's campus topology under HTTP background traffic,
+//     TOP-mapped onto 3 engines, through the full emulator stack.
+//
+// Each scenario runs 4 configs ({GlobalWindow, ChannelLookahead} x
+// {Sequential, Threaded}) and records modeled emulation time, wall-clock
+// time, window/advance/idle counters, and the history hash. The headline
+// figure is the Sequential modeled-time ratio (global / channel): modeled
+// time is deterministic and machine-independent, while wall-clock on a
+// small shared machine mostly measures scheduler noise (threaded configs
+// are included for reference only). The binary exits non-zero unless the
+// history hash is identical across all 4 configs of each scenario and the
+// dumbbell ratio is >= 1.5.
+//
+//   $ ./bench_micro_sync [BENCH_sync.json]
+//
+// bench/run_sync_bench.sh builds Release and records the JSON; a debug
+// build refuses to write results (modeled time is build-independent, but
+// the wall-clock columns would be garbage and the file must never look
+// authoritative when it is not).
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/mapper.hpp"
+#include "des/kernel.hpp"
+#include "emu/emulator.hpp"
+#include "routing/routing.hpp"
+#include "topology/topologies.hpp"
+#include "traffic/http.hpp"
+
+namespace {
+
+using namespace massf;
+
+struct ConfigResult {
+  des::SyncMode sync = des::SyncMode::GlobalWindow;
+  des::ExecutionMode exec = des::ExecutionMode::Sequential;
+  double modeled_time = 0;
+  double wall_time = 0;
+  std::uint64_t events = 0;
+  std::uint64_t remote_messages = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t channel_advances = 0;
+  std::uint64_t idle_jumps = 0;
+  std::uint64_t history_hash = 0;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::vector<ConfigResult> configs;
+
+  const ConfigResult& find(des::SyncMode sync, des::ExecutionMode exec) const {
+    for (const ConfigResult& c : configs)
+      if (c.sync == sync && c.exec == exec) return c;
+    std::abort();
+  }
+  /// Headline: Sequential modeled-time ratio, global-window over channel.
+  double modeled_speedup() const {
+    const ConfigResult& g =
+        find(des::SyncMode::GlobalWindow, des::ExecutionMode::Sequential);
+    const ConfigResult& c =
+        find(des::SyncMode::ChannelLookahead, des::ExecutionMode::Sequential);
+    return g.modeled_time / c.modeled_time;
+  }
+  bool hashes_identical() const {
+    for (const ConfigResult& c : configs)
+      if (c.history_hash != configs.front().history_hash) return false;
+    return true;
+  }
+};
+
+ConfigResult fill(const des::KernelStats& ks, des::SyncMode sync,
+                  des::ExecutionMode exec, double wall) {
+  ConfigResult r;
+  r.sync = sync;
+  r.exec = exec;
+  r.modeled_time = ks.modeled_time;
+  r.wall_time = wall;
+  for (auto e : ks.events_per_lp) r.events += e;
+  r.remote_messages = ks.remote_messages;
+  r.windows = ks.windows;
+  r.channel_advances = ks.channel_advances;
+  r.idle_jumps = ks.idle_jumps;
+  r.history_hash = ks.history_hash;
+  return r;
+}
+
+// ---- dumbbell: raw-kernel heterogeneous channel graph --------------------
+
+constexpr double kFastLa = 1e-3;   // intra-site channel lookahead (1 ms)
+constexpr double kSlowLa = 50e-3;  // cross-site channel lookahead (50 ms)
+constexpr double kDumbbellEnd = 5.0;
+
+// A chain bounces a message between two LPs, each hop exactly one channel
+// lookahead ahead — the densest traffic the channel admits.
+void bounce(des::Kernel& kernel, int here, int peer, double la, double end) {
+  const double t = kernel.now() + la;
+  if (t >= end) return;
+  kernel.schedule_remote(peer, t, [&kernel, here, peer, la, end] {
+    bounce(kernel, peer, here, la, end);
+  });
+}
+
+ConfigResult run_dumbbell(des::SyncMode sync, des::ExecutionMode exec) {
+  des::Kernel kernel(4, kFastLa);
+  kernel.set_sync_mode(sync);
+  // Sites {0,1} and {2,3}; only 0<->2 joins them. Registered in both sync
+  // modes so the validation surface (and therefore the history) matches.
+  const std::pair<int, int> sites[] = {{0, 1}, {2, 3}};
+  for (auto [a, b] : sites) {
+    kernel.set_channel_lookahead(a, b, kFastLa);
+    kernel.set_channel_lookahead(b, a, kFastLa);
+  }
+  kernel.set_channel_lookahead(0, 2, kSlowLa);
+  kernel.set_channel_lookahead(2, 0, kSlowLa);
+
+  // Two fast chains per site (staggered half a lookahead apart) plus one
+  // slow cross-site chain.
+  for (auto [a, b] : sites) {
+    kernel.schedule(a, kFastLa,
+                    [&kernel, a, b] { bounce(kernel, a, b, kFastLa, kDumbbellEnd); });
+    kernel.schedule(b, 1.5 * kFastLa,
+                    [&kernel, a, b] { bounce(kernel, b, a, kFastLa, kDumbbellEnd); });
+  }
+  kernel.schedule(0, kSlowLa,
+                  [&kernel] { bounce(kernel, 0, 2, kSlowLa, kDumbbellEnd); });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  kernel.run_until(kDumbbellEnd, exec);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return fill(kernel.stats(), sync, exec, wall);
+}
+
+// ---- campus: full emulator stack under HTTP background -------------------
+
+struct CampusFixture {
+  topology::Network network = topology::make_campus();
+  routing::RoutingTables routes = routing::RoutingTables::build(network);
+  mapping::MappingResult mapped;
+  std::shared_ptr<traffic::CompositeWorkload> workload;
+
+  CampusFixture() {
+    mapping::Mapper mapper(network, routes);
+    mapping::MappingOptions options;
+    options.engines = 3;
+    mapped = mapper.map_top(options);
+
+    traffic::HttpParams http;
+    http.server_number = 8;
+    http.clients_per_server = 10;
+    http.think_time_s = 2;
+    http.duration_s = 20;
+    workload = std::make_shared<traffic::CompositeWorkload>();
+    workload->add(std::make_shared<traffic::HttpBackground>(network, http));
+  }
+};
+
+ConfigResult run_campus(const CampusFixture& fixture, des::SyncMode sync,
+                        des::ExecutionMode exec) {
+  emu::EmulatorConfig config;
+  config.sync_mode = sync;
+  emu::Emulator emulator(fixture.network, fixture.routes,
+                         fixture.mapped.node_engine, fixture.mapped.engines,
+                         config);
+  fixture.workload->install(emulator);
+  const auto t0 = std::chrono::steady_clock::now();
+  emulator.run(25.0, exec);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return fill(emulator.kernel_stats(), sync, exec, wall);
+}
+
+// ---- reporting -----------------------------------------------------------
+
+ScenarioResult run_scenario(const std::string& name,
+                            const CampusFixture* campus) {
+  ScenarioResult scenario;
+  scenario.name = name;
+  for (auto sync :
+       {des::SyncMode::GlobalWindow, des::SyncMode::ChannelLookahead}) {
+    for (auto exec :
+         {des::ExecutionMode::Sequential, des::ExecutionMode::Threaded}) {
+      std::cerr << "  " << name << " " << des::to_string(sync) << " / "
+                << (exec == des::ExecutionMode::Sequential ? "sequential"
+                                                           : "threaded")
+                << "...\n";
+      scenario.configs.push_back(campus != nullptr
+                                     ? run_campus(*campus, sync, exec)
+                                     : run_dumbbell(sync, exec));
+    }
+  }
+  return scenario;
+}
+
+void write_json(std::ostream& out, const std::vector<ScenarioResult>& all) {
+  out << "{\n  \"benchmark\": \"bench_micro_sync\",\n"
+      << "  \"build_type\": \"release\",\n"
+      << "  \"headline\": \"sequential modeled-time ratio global/channel\",\n"
+      << "  \"scenarios\": [\n";
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    const ScenarioResult& scenario = all[s];
+    out << "    {\n      \"name\": \"" << scenario.name << "\",\n"
+        << "      \"modeled_speedup_channel_vs_global\": "
+        << scenario.modeled_speedup() << ",\n"
+        << "      \"hash_identical\": "
+        << (scenario.hashes_identical() ? "true" : "false") << ",\n"
+        << "      \"configs\": [\n";
+    for (std::size_t c = 0; c < scenario.configs.size(); ++c) {
+      const ConfigResult& r = scenario.configs[c];
+      out << "        {\"sync\": \"" << des::to_string(r.sync)
+          << "\", \"exec\": \""
+          << (r.exec == des::ExecutionMode::Sequential ? "sequential"
+                                                       : "threaded")
+          << "\", \"modeled_time_s\": " << r.modeled_time
+          << ", \"wall_time_s\": " << r.wall_time
+          << ", \"events\": " << r.events
+          << ", \"remote_messages\": " << r.remote_messages
+          << ", \"windows\": " << r.windows
+          << ", \"channel_advances\": " << r.channel_advances
+          << ", \"idle_jumps\": " << r.idle_jumps
+          << ", \"history_hash\": \"" << r.history_hash << "\"}"
+          << (c + 1 < scenario.configs.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n    }" << (s + 1 < all.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifndef NDEBUG
+  (void)argc;
+  (void)argv;
+  std::cerr << "bench_micro_sync: refusing to record results from a debug "
+               "build (assertions enabled). Build Release — see "
+               "bench/run_sync_bench.sh.\n";
+  return 1;
+#else
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sync.json";
+  std::vector<ScenarioResult> all;
+  all.push_back(run_scenario("dumbbell", nullptr));
+  const CampusFixture campus;
+  all.push_back(run_scenario("campus", &campus));
+
+  bool ok = true;
+  for (const ScenarioResult& scenario : all) {
+    const double speedup = scenario.modeled_speedup();
+    std::cout << scenario.name << ": modeled speedup "
+              << speedup << "x (channel vs global, sequential), hashes "
+              << (scenario.hashes_identical() ? "identical" : "DIFFER")
+              << "\n";
+    if (!scenario.hashes_identical()) ok = false;
+    if (scenario.name == "dumbbell" && speedup < 1.5) ok = false;
+  }
+  std::ofstream out(out_path);
+  write_json(out, all);
+  std::cout << "wrote " << out_path << "\n";
+  if (!ok)
+    std::cerr << "bench_micro_sync: acceptance checks FAILED (need "
+                 "identical hashes and dumbbell speedup >= 1.5)\n";
+  return ok ? 0 : 1;
+#endif
+}

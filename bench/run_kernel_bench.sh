@@ -1,26 +1,42 @@
 #!/usr/bin/env sh
 # Record the kernel microbenchmark to BENCH_kernel.json.
 #
-#   BUILD_DIR=build OUT=BENCH_kernel.json REPS=5 ./bench/run_kernel_bench.sh
+#   BUILD_DIR=build-release OUT=BENCH_kernel.json REPS=5 ./bench/run_kernel_bench.sh
 #
-# Writes google-benchmark JSON aggregates (median over REPS repetitions);
-# items_per_second is the events/sec figure. Run on an idle machine —
-# threaded benchmarks measure real time.
+# Configures and builds a dedicated Release tree, verifies the cache really
+# says Release (recording a debug build would publish numbers 10-50x off),
+# and only then runs the benchmark. Writes google-benchmark JSON aggregates
+# (median over REPS repetitions); items_per_second is the events/sec
+# figure. Run on an idle machine — threaded benchmarks measure real time.
 set -eu
 
-BUILD_DIR="${BUILD_DIR:-build}"
+BUILD_DIR="${BUILD_DIR:-build-release}"
 OUT="${OUT:-BENCH_kernel.json}"
 REPS="${REPS:-5}"
 BIN="$BUILD_DIR/bench/bench_micro_kernel"
 
-if [ ! -x "$BIN" ]; then
-  echo "error: $BIN not found or not executable." >&2
-  echo "Build it first: cmake -B $BUILD_DIR && cmake --build $BUILD_DIR --target bench_micro_kernel" >&2
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+if ! grep -q '^CMAKE_BUILD_TYPE:[A-Z]*=Release$' "$BUILD_DIR/CMakeCache.txt"; then
+  echo "error: $BUILD_DIR is not a Release build; refusing to record." >&2
+  echo "Use a fresh BUILD_DIR or reconfigure with -DCMAKE_BUILD_TYPE=Release." >&2
   exit 1
 fi
+cmake --build "$BUILD_DIR" --target bench_micro_kernel -j >/dev/null
 
-exec "$BIN" \
+"$BIN" \
   --benchmark_repetitions="$REPS" \
   --benchmark_report_aggregates_only=true \
-  --benchmark_out="$OUT" \
+  --benchmark_out="$OUT".tmp \
   --benchmark_out_format=json
+
+# The google-benchmark context's "library_build_type" describes the
+# installed benchmark *library*, not this binary. The binary stamps its own
+# "binary_build_type" (from NDEBUG) into the context; refuse the JSON
+# unless it says release.
+if ! grep -q '"binary_build_type": *"release"' "$OUT".tmp; then
+  echo "error: recorded JSON does not claim a release binary; discarding." >&2
+  rm -f "$OUT".tmp
+  exit 1
+fi
+mv "$OUT".tmp "$OUT"
+echo "wrote $OUT"

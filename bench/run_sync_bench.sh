@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Record the sync-protocol A/B benchmark to BENCH_sync.json.
+#
+#   BUILD_DIR=build-release OUT=BENCH_sync.json ./bench/run_sync_bench.sh
+#
+# Configures and builds a dedicated Release tree (never reuses a debug
+# build: the binary itself also refuses to run without NDEBUG), verifies
+# the cache really says Release, then runs bench_micro_sync. The binary
+# exits non-zero unless the history hash is identical across all four
+# (sync x exec) configs and the dumbbell modeled speedup is >= 1.5.
+set -eu
+
+BUILD_DIR="${BUILD_DIR:-build-release}"
+OUT="${OUT:-BENCH_sync.json}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+if ! grep -q '^CMAKE_BUILD_TYPE:[A-Z]*=Release$' "$BUILD_DIR/CMakeCache.txt"; then
+  echo "error: $BUILD_DIR is not a Release build; refusing to record." >&2
+  echo "Use a fresh BUILD_DIR or reconfigure with -DCMAKE_BUILD_TYPE=Release." >&2
+  exit 1
+fi
+cmake --build "$BUILD_DIR" --target bench_micro_sync -j >/dev/null
+
+exec "$BUILD_DIR/bench/bench_micro_sync" "$OUT"

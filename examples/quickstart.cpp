@@ -33,12 +33,15 @@ int main() {
   auto workload = std::make_shared<traffic::CompositeWorkload>();
   workload->add(std::make_shared<traffic::HttpBackground>(network, http));
 
-  // 3. An experiment: emulate on 3 simulation engines.
+  // 3. An experiment: emulate on 3 simulation engines with per-channel
+  //    conservative synchronization (each engine pair advances on its own
+  //    cut-link lookahead instead of a global window).
   mapping::ExperimentSetup setup;
   setup.network = &network;
   setup.routes = &routes;
   setup.workload = workload;
   setup.engines = 3;
+  setup.emulator.sync_mode = des::SyncMode::ChannelLookahead;
   mapping::Experiment experiment(std::move(setup));
 
   // 4. Map with the static TOP approach and the profile-driven PROFILE
@@ -55,6 +58,7 @@ int main() {
         .cell(metrics.emulation_time, 1)
         .cell(metrics.lookahead * 1e3, 2)
         .cell(static_cast<long long>(metrics.remote_messages));
+    std::cout << mapping::summarize(mapped, metrics) << "\n\n";
   }
   table.print(std::cout);
   std::cout << "\nPROFILE uses NetFlow measurements from the profiling run "

@@ -85,8 +85,10 @@ MappingResult Mapper::finish(Approach approach,
   out.worst_balance = result.worst_balance;
   out.segments_used = segments_used;
 
-  // Structure cut (links crossing engines) and achieved lookahead.
+  // Structure cut (links crossing engines), achieved lookahead, and the
+  // per-engine-pair cut minima that become channel lookaheads.
   double min_cross = std::numeric_limits<double>::infinity();
+  std::map<std::pair<int, int>, double> pair_min;
   for (topology::LinkId l = 0; l < network_.link_count(); ++l) {
     const topology::Link& link = network_.link(l);
     const int ea = out.node_engine[static_cast<std::size_t>(link.a)];
@@ -94,11 +96,17 @@ MappingResult Mapper::finish(Approach approach,
     if (ea == eb) continue;
     out.links_cut += 1;
     min_cross = std::min(min_cross, link.latency_s);
+    const auto key = std::minmax(ea, eb);
+    const auto [it, inserted] = pair_min.emplace(key, link.latency_s);
+    if (!inserted) it->second = std::min(it->second, link.latency_s);
     if (link_load != nullptr)
       out.traffic_cut += (*link_load)[static_cast<std::size_t>(l)];
   }
   out.lookahead = std::isfinite(min_cross) ? min_cross
                                            : network_.min_link_latency();
+  out.pair_lookaheads.reserve(pair_min.size());
+  for (const auto& [pair, la] : pair_min)
+    out.pair_lookaheads.push_back({pair.first, pair.second, la});
   return out;
 }
 

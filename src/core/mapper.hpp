@@ -60,6 +60,17 @@ struct MappingOptions {
   double foreground_utilization = 1.0;
 };
 
+/// Minimum cut-link latency between one unordered engine pair (a < b): the
+/// conservative lookahead of the kernel channels joining those engines
+/// under SyncMode::ChannelLookahead. The spread of these values across
+/// pairs is what per-channel synchronization exploits — and what the
+/// paper's latency objective (maximize cross-partition latency) improves.
+struct EnginePairLookahead {
+  int a = 0;
+  int b = 0;
+  double lookahead = 0;
+};
+
 struct MappingResult {
   Approach approach = Approach::Top;
   partition::Assignment node_engine;
@@ -74,6 +85,9 @@ struct MappingResult {
   /// Conservative lookahead this mapping yields (min cross-engine link
   /// latency; the full min link latency if nothing crosses).
   double lookahead = 0;
+  /// Per-engine-pair cut lookaheads, ascending (a, b); empty when no link
+  /// crosses engines.
+  std::vector<EnginePairLookahead> pair_lookaheads;
   /// PROFILE: number of time segments used as extra constraints.
   int segments_used = 0;
 };

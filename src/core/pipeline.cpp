@@ -1,6 +1,8 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <iomanip>
+#include <sstream>
 
 #include "graph/algorithms.hpp"
 #include "util/error.hpp"
@@ -21,6 +23,38 @@ std::vector<double> RunMetrics::imbalance_series() const {
     out.push_back(normalized_imbalance(column));
   }
   return out;
+}
+
+std::string summarize(const MappingResult& mapping,
+                      const RunMetrics& metrics) {
+  std::ostringstream out;
+  out << std::setprecision(4);
+  out << "mapping   " << approach_name(mapping.approach) << ": "
+      << mapping.engines << " engines, " << mapping.links_cut
+      << " links cut, lookahead " << mapping.lookahead * 1e3 << " ms";
+  if (!mapping.pair_lookaheads.empty()) {
+    out << "\n  pair lookaheads:";
+    for (const EnginePairLookahead& pair : mapping.pair_lookaheads)
+      out << " " << pair.a << "<->" << pair.b << ": "
+          << pair.lookahead * 1e3 << " ms";
+  }
+  out << "\nsync      " << des::to_string(metrics.sync_mode);
+  if (metrics.sync_mode == des::SyncMode::ChannelLookahead) {
+    out << ": " << metrics.channel_advances << " channel advances, "
+        << metrics.idle_jumps << " idle jumps";
+    std::uint64_t throttled = 0;
+    for (const des::ChannelStat& channel : metrics.channels)
+      throttled += channel.throttled;
+    out << ", " << metrics.channels.size() << " channels ("
+        << throttled << " throttle stalls)";
+  } else {
+    out << ": " << metrics.windows << " windows";
+  }
+  out << "\nmetrics   imbalance " << metrics.load_imbalance
+      << ", emulation time " << metrics.emulation_time
+      << " s, network time " << metrics.network_time << " s, "
+      << metrics.remote_messages << " remote messages";
+  return out.str();
 }
 
 Experiment::Experiment(ExperimentSetup setup)
@@ -115,6 +149,11 @@ RunMetrics Experiment::collect(emu::Emulator& emulator) const {
   metrics.sim_time = ks.sim_time_reached;
   metrics.emulator_stats = emulator.stats();
   metrics.epochs = emulator.epoch_stats();
+  metrics.sync_mode = ks.sync_mode;
+  metrics.channel_advances = ks.channel_advances;
+  metrics.idle_jumps = ks.idle_jumps;
+  metrics.idle_wait_per_engine = ks.idle_wait_per_lp;
+  metrics.channels = ks.channels;
   return metrics;
 }
 
@@ -134,7 +173,9 @@ RunMetrics Experiment::run(const MappingResult& mapping,
   setup_.workload->install(emulator);
   emulator.run(horizon_, setup_.mode);
   if (record != nullptr) *record = recorder->finish();
-  return collect(emulator);
+  RunMetrics metrics = collect(emulator);
+  metrics.pair_lookaheads = mapping.pair_lookaheads;
+  return metrics;
 }
 
 RunMetrics Experiment::replay(const emu::Trace& trace,
@@ -148,6 +189,7 @@ RunMetrics Experiment::replay(const emu::Trace& trace,
   replayer.install(emulator);
   emulator.run(horizon_, setup_.mode);
   RunMetrics metrics = collect(emulator);
+  metrics.pair_lookaheads = mapping.pair_lookaheads;
   if (replayer.messages_issued() < replayer.messages_total())
     MASSF_LOG_WARN << "replay issued " << replayer.messages_issued() << "/"
                    << replayer.messages_total()

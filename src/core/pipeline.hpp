@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "core/mapper.hpp"
 #include "emu/emulator.hpp"
@@ -69,10 +70,29 @@ struct RunMetrics {
   emu::EmulatorStats emulator_stats{};
   /// Per-routing-epoch fault counters (empty without a fault timeline).
   std::vector<emu::EpochStats> epochs;
+  /// Kernel synchronization protocol the run used.
+  des::SyncMode sync_mode = des::SyncMode::GlobalWindow;
+  /// ChannelLookahead: per-LP execution bursts (the windows analogue).
+  std::uint64_t channel_advances = 0;
+  /// ChannelLookahead: rendezvous barriers taken to bridge idle spans.
+  std::uint64_t idle_jumps = 0;
+  /// ChannelLookahead + Threaded: measured per-engine idle-wait seconds.
+  std::vector<double> idle_wait_per_engine;
+  /// ChannelLookahead: per-directed-channel lookahead/delivery/throttle
+  /// stats from the kernel.
+  std::vector<des::ChannelStat> channels;
+  /// Per-engine-pair minimum cut-link latency from the mapping (objective
+  /// 1 made observable; the channel lookaheads the emulator registers).
+  std::vector<EnginePairLookahead> pair_lookaheads;
 
   /// Load imbalance per time bucket (Figure 8's series).
   std::vector<double> imbalance_series() const;
 };
+
+/// Human-readable run summary: mapping quality (cut size, global and
+/// per-pair lookaheads) next to sync behaviour (windows vs channel
+/// advances, idle jumps, throttled channels) and the headline metrics.
+std::string summarize(const MappingResult& mapping, const RunMetrics& metrics);
 
 class Experiment {
  public:

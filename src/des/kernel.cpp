@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <exception>
@@ -21,11 +22,6 @@ constexpr std::uint64_t kHashSeed = 1469598103934665603ULL;
 // horizon: callers sometimes pass a generous end_time (run-until-quiet) and
 // reserving gigabytes for buckets that will never be touched helps nobody.
 constexpr std::size_t kMaxReservedBuckets = 1 << 16;
-
-// Bulk inbox appends below this size go through ordinary heap pushes; at or
-// above it (and when the batch is a sizable fraction of the queue) a single
-// make_heap rebuild is cheaper than m * log(n) sift-ups.
-constexpr std::size_t kHeapifyThreshold = 8;
 
 // One step of the per-LP history stream hash: xor-in then a splitmix64-style
 // finalizer round. Runs twice per executed event, so it must be a handful of
@@ -51,6 +47,10 @@ thread_local int tl_current_lp = -1;
 thread_local SimTime tl_now = 0;
 
 }  // namespace
+
+const char* to_string(SyncMode mode) {
+  return mode == SyncMode::GlobalWindow ? "global-window" : "channel-lookahead";
+}
 
 std::vector<double> KernelStats::loads() const {
   std::vector<double> out(events_per_lp.size());
@@ -147,13 +147,49 @@ struct Kernel::Impl {
     std::uint64_t history = kHashSeed;
     SimTime max_time = 0;
     SimTime published_next = Kernel::never();
+    /// Reused staging buffer for inbox/mailbox merges (this LP only).
+    std::vector<Event> scratch;
+    /// ChannelLookahead: advance-loop iterations that executed something.
+    std::uint64_t advances = 0;
+    /// ChannelLookahead + Threaded: wall seconds spent stalled.
+    double idle_wait = 0;
     std::vector<double> series;  // event counts per sim-time bucket
   };
 
+  /// One directed cross-LP channel under SyncMode::ChannelLookahead. The
+  /// mailbox is a mutex-protected handoff buffer: the sender splices a whole
+  /// outbox batch in at its publish point, the receiver swaps the vector out
+  /// before executing — both critical sections are O(batch) with no
+  /// allocation in steady state. `has_mail` lets both sides skip the lock
+  /// when the mailbox is quiet; the receiver's clear-before-swap and the
+  /// sender's fill-before-set ordering make lost wakeups impossible
+  /// (spurious flags are harmless — the swap just finds an empty vector).
+  struct Channel {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    double lookahead = 0;
+    std::mutex m;
+    std::vector<Event> mailbox;
+    std::atomic<bool> has_mail{false};
+    // Receiver-side stats (single-writer: the dst LP's thread).
+    std::uint64_t delivered = 0;
+    std::uint64_t throttled = 0;
+    double max_lag = 0;
+  };
+
   std::vector<Lp> lps;
+  /// Registered channels (unique_ptr: Channel is neither movable nor
+  /// copyable, and stable addresses let workers hold raw references).
+  std::vector<std::unique_ptr<Channel>> channels;
+  /// Dense (src * k + dst) → channel index, -1 when unregistered.
+  std::vector<std::int32_t> channel_of;
+  /// Per-LP inbound channel indices, ascending by src (deterministic bound
+  /// and throttle attribution regardless of registration order).
+  std::vector<std::vector<std::uint32_t>> inbound;
 
   explicit Impl(int lp_count) : lps(static_cast<std::size_t>(lp_count)) {
     for (Lp& lp : lps) lp.outbox.resize(static_cast<std::size_t>(lp_count));
+    channel_of.assign(lps.size() * lps.size(), -1);
   }
 
   ~Impl() {
@@ -164,6 +200,39 @@ struct Kernel::Impl {
       for (auto& box : lp.outbox)
         for (Event& e : box) delete e.cb;
     }
+    for (auto& ch : channels)
+      for (Event& e : ch->mailbox) delete e.cb;
+  }
+
+  std::int32_t channel_index(std::size_t src, std::size_t dst) const {
+    return channel_of[src * lps.size() + dst];
+  }
+
+  Channel& ensure_channel(int src, int dst, double la) {
+    std::int32_t& slot =
+        channel_of[static_cast<std::size_t>(src) * lps.size() +
+                   static_cast<std::size_t>(dst)];
+    if (slot < 0) {
+      slot = static_cast<std::int32_t>(channels.size());
+      auto ch = std::make_unique<Channel>();
+      ch->src = static_cast<std::uint32_t>(src);
+      ch->dst = static_cast<std::uint32_t>(dst);
+      channels.push_back(std::move(ch));
+    }
+    Channel& ch = *channels[static_cast<std::size_t>(slot)];
+    ch.lookahead = la;
+    return ch;
+  }
+
+  void build_inbound() {
+    inbound.assign(lps.size(), {});
+    for (std::uint32_t c = 0; c < channels.size(); ++c)
+      inbound[channels[c]->dst].push_back(c);
+    for (auto& list : inbound)
+      std::sort(list.begin(), list.end(),
+                [this](std::uint32_t a, std::uint32_t b) {
+                  return channels[a]->src < channels[b]->src;
+                });
   }
 
   /// Run one LP's events with t < window_end; `execute` performs accounting
@@ -212,34 +281,29 @@ struct Kernel::Impl {
     }
   }
 
-  /// Deliver pending outbox slots into dst's queue. Only senders recorded
-  /// in pending_sources are visited; large batches append raw and then
-  /// sort (empty queue) or heapify once instead of sifting event-by-event.
-  void drain_inboxes(std::size_t dst, double per_remote_cost) {
-    Lp& receiver = lps[dst];
-    if (receiver.pending_sources.empty()) return;
-    std::size_t incoming = 0;
-    for (std::uint32_t src : receiver.pending_sources)
-      incoming += lps[src].outbox[dst].size();
+  /// Merge a batch of remote events into `receiver`'s queue, charging the
+  /// per-message receive cost. Batches below kBulkHeapifyThreshold (or that
+  /// are a small fraction of the queue) go through ordinary heap pushes;
+  /// bulk append+rebuild only pays when the batch dominates the queue:
+  /// rebuilding costs O(old + new) while appending costs O(new log n) —
+  /// and in practice far less, because drained remote events carry later
+  /// timestamps than the locals already queued and sift-up exits almost
+  /// immediately. Consumes (clears) the batch.
+  void merge_batch(Lp& receiver, std::vector<Event>& batch,
+                   double per_remote_cost) {
+    if (batch.empty()) return;
+    const std::size_t incoming = batch.size();
     EventHeap& queue = receiver.queue;
-    // Bulk append+rebuild only pays when the batch dominates the queue:
-    // rebuilding costs O(old + new) while appending costs O(new log n) —
-    // and in practice far less, because drained remote events carry
-    // later timestamps than the locals already queued and sift-up exits
-    // almost immediately.
     const bool was_empty = queue.empty();
-    const bool bulk =
-        incoming >= kHeapifyThreshold && (was_empty || incoming > queue.size());
-    for (std::uint32_t src : receiver.pending_sources) {
-      auto& box = lps[src].outbox[dst];
-      for (auto& event : box) {
-        if (bulk)
-          queue.v.push_back(std::move(event));
-        else
-          queue.push(std::move(event));
-      }
-      box.clear();
+    const bool bulk = incoming >= kBulkHeapifyThreshold &&
+                      (was_empty || incoming > queue.size());
+    for (Event& event : batch) {
+      if (bulk)
+        queue.v.push_back(event);
+      else
+        queue.push(event);
     }
+    batch.clear();
     if (bulk) {
       if (was_empty) {
         // The whole batch in one sorted run: O(1) pops next window.
@@ -253,7 +317,56 @@ struct Kernel::Impl {
     }
     receiver.window_busy += per_remote_cost * static_cast<double>(incoming);
     receiver.remote_received += incoming;
+  }
+
+  /// Deliver pending outbox slots into dst's queue (GlobalWindow drain
+  /// phase). Only senders recorded in pending_sources are visited.
+  void drain_inboxes(std::size_t dst, double per_remote_cost) {
+    Lp& receiver = lps[dst];
+    if (receiver.pending_sources.empty()) return;
+    receiver.scratch.clear();
+    for (std::uint32_t src : receiver.pending_sources) {
+      auto& box = lps[src].outbox[dst];
+      receiver.scratch.insert(receiver.scratch.end(), box.begin(), box.end());
+      box.clear();
+    }
     receiver.pending_sources.clear();
+    merge_batch(receiver, receiver.scratch, per_remote_cost);
+  }
+
+  /// ChannelLookahead sender flush: splice the dirty outbox slots into the
+  /// corresponding channel mailboxes. Runs at the sending LP's publish
+  /// point, *before* the release store of its clock, so a receiver that
+  /// observes the new clock is guaranteed to also observe these events.
+  void flush_channels(std::size_t src) {
+    Lp& sender = lps[src];
+    for (std::uint32_t dst : sender.dirty_dsts) {
+      auto& box = sender.outbox[dst];
+      Channel& ch =
+          *channels[static_cast<std::size_t>(channel_index(src, dst))];
+      {
+        std::lock_guard<std::mutex> lock(ch.m);
+        ch.mailbox.insert(ch.mailbox.end(), box.begin(), box.end());
+      }
+      box.clear();
+      ch.has_mail.store(true, std::memory_order_release);
+    }
+    sender.dirty_dsts.clear();
+  }
+
+  /// ChannelLookahead receiver drain of one inbound channel. Clears
+  /// has_mail *before* swapping the mailbox out, so an append that races
+  /// past the swap leaves its flag set for the next pass.
+  void drain_channel(Channel& ch, Lp& receiver, double per_remote_cost) {
+    if (!ch.has_mail.load(std::memory_order_acquire)) return;
+    ch.has_mail.store(false, std::memory_order_relaxed);
+    receiver.scratch.clear();
+    {
+      std::lock_guard<std::mutex> lock(ch.m);
+      ch.mailbox.swap(receiver.scratch);
+    }
+    ch.delivered += receiver.scratch.size();
+    merge_batch(receiver, receiver.scratch, per_remote_cost);
   }
 };
 
@@ -282,6 +395,49 @@ void Kernel::set_bucket_width(double width) {
 void Kernel::set_event_sink(EventSink* sink) {
   MASSF_REQUIRE(sink != nullptr, "event sink must not be null");
   sink_ = sink;
+}
+
+void Kernel::set_sync_mode(SyncMode mode) {
+  MASSF_REQUIRE(!ran_, "set the sync mode before running");
+  sync_mode_ = mode;
+}
+
+void Kernel::set_channel_lookahead(int src, int dst, double la) {
+  MASSF_REQUIRE(!ran_, "register channel lookaheads before running");
+  MASSF_REQUIRE(src >= 0 && src < lp_count_ && dst >= 0 && dst < lp_count_,
+                "channel LP index out of range");
+  MASSF_REQUIRE(src != dst, "a channel must connect two distinct LPs");
+  MASSF_REQUIRE(std::isfinite(la) && la >= lookahead_,
+                "channel lookahead "
+                    << la << " must be finite and >= the global lookahead "
+                    << lookahead_
+                    << " (the global value is the min over all engine pairs)");
+  impl_->ensure_channel(src, dst, la);
+}
+
+double Kernel::channel_lookahead(int src, int dst) const {
+  MASSF_REQUIRE(src >= 0 && src < lp_count_ && dst >= 0 && dst < lp_count_,
+                "channel LP index out of range");
+  if (impl_->channels.empty()) return lookahead_;
+  const std::int32_t c = impl_->channel_index(static_cast<std::size_t>(src),
+                                              static_cast<std::size_t>(dst));
+  return c < 0 ? never() : impl_->channels[static_cast<std::size_t>(c)]->lookahead;
+}
+
+double Kernel::remote_lookahead(int to_lp) const {
+  MASSF_REQUIRE(tl_current_lp >= 0,
+                "schedule_remote may only be called from an executing event");
+  MASSF_REQUIRE(to_lp >= 0 && to_lp < lp_count_, "LP index out of range");
+  if (impl_->channels.empty()) return lookahead_;
+  const std::int32_t c =
+      impl_->channel_index(static_cast<std::size_t>(tl_current_lp),
+                           static_cast<std::size_t>(to_lp));
+  MASSF_REQUIRE(c >= 0, "no channel registered from LP "
+                            << tl_current_lp << " to LP " << to_lp
+                            << ": once any per-channel lookahead is set, "
+                               "cross-LP sends are restricted to registered "
+                               "channels");
+  return impl_->channels[static_cast<std::size_t>(c)]->lookahead;
 }
 
 namespace {
@@ -333,7 +489,7 @@ void Kernel::schedule_packet(int lp, SimTime t, PacketEvent event) {
 }
 
 void Kernel::schedule_remote(int to_lp, SimTime t, Callback fn) {
-  check_remote_target(to_lp, lp_count_, t, lookahead_);
+  check_remote_target(to_lp, lp_count_, t, remote_lookahead(to_lp));
   MASSF_REQUIRE(fn, "event callback must be callable");
   Impl::Lp& sender = impl_->lps[static_cast<std::size_t>(tl_current_lp)];
   auto& box = sender.outbox[static_cast<std::size_t>(to_lp)];
@@ -347,7 +503,7 @@ void Kernel::schedule_remote(int to_lp, SimTime t, Callback fn) {
 }
 
 void Kernel::schedule_packet_remote(int to_lp, SimTime t, PacketEvent event) {
-  check_remote_target(to_lp, lp_count_, t, lookahead_);
+  check_remote_target(to_lp, lp_count_, t, remote_lookahead(to_lp));
   MASSF_REQUIRE(sink_ != nullptr,
                 "register an EventSink before scheduling packet events");
   Impl::Lp& sender = impl_->lps[static_cast<std::size_t>(tl_current_lp)];
@@ -365,6 +521,8 @@ void Kernel::run_until(SimTime end_time, ExecutionMode mode) {
   MASSF_REQUIRE(end_time > 0, "end time must be positive");
   MASSF_REQUIRE(tl_current_lp < 0, "run_until cannot be nested");
   ran_ = true;
+  stats_.sync_mode = sync_mode_;
+  stats_.idle_wait_per_lp.assign(static_cast<std::size_t>(lp_count_), 0.0);
 
   // Pre-reserve the load series from the run horizon (capped) so the
   // per-event bucket append never reallocates mid-run.
@@ -376,10 +534,25 @@ void Kernel::run_until(SimTime end_time, ExecutionMode mode) {
     lp.pending_sources.reserve(static_cast<std::size_t>(lp_count_));
   }
 
-  if (mode == ExecutionMode::Sequential)
+  if (sync_mode_ == SyncMode::ChannelLookahead) {
+    // No channels registered → every LP pair is implicitly coupled at the
+    // global lookahead, so the protocol degrades to per-pair advancement
+    // with uniform bounds (still barrier-free).
+    if (impl_->channels.empty())
+      for (int s = 0; s < lp_count_; ++s)
+        for (int d = 0; d < lp_count_; ++d)
+          if (s != d) impl_->ensure_channel(s, d, lookahead_);
+    impl_->build_inbound();
+    if (mode == ExecutionMode::Sequential)
+      run_channel_sequential(end_time);
+    else
+      run_channel_threaded(end_time);
+    finalize_channel_run(end_time);
+  } else if (mode == ExecutionMode::Sequential) {
     run_sequential(end_time);
-  else
+  } else {
     run_threaded(end_time);
+  }
 
   // Fold per-LP results into stats_.
   std::size_t max_buckets = 0;
@@ -387,7 +560,9 @@ void Kernel::run_until(SimTime end_time, ExecutionMode mode) {
     const Impl::Lp& lp = impl_->lps[static_cast<std::size_t>(i)];
     stats_.events_per_lp[static_cast<std::size_t>(i)] = lp.events;
     stats_.busy_per_lp[static_cast<std::size_t>(i)] = lp.busy_total;
+    stats_.idle_wait_per_lp[static_cast<std::size_t>(i)] = lp.idle_wait;
     stats_.remote_messages += lp.remote_received;
+    stats_.channel_advances += lp.advances;
     stats_.sim_time_reached = std::max(stats_.sim_time_reached, lp.max_time);
     stats_.history_hash ^=
         lp.history * (static_cast<std::uint64_t>(i) * 2654435761ULL + 1);
@@ -420,9 +595,16 @@ void Kernel::run_sequential(SimTime end_time) {
     for (std::size_t i = 0; i < k; ++i) {
       tl_current_lp = static_cast<int>(i);
       Impl::Lp& lp = lps[i];
-      Impl::process_window(lp, window_end, [&](Impl::Event& e) {
-        impl_->execute_event(lp, e, cost_.per_event, inv_bucket, sink_);
-      });
+      try {
+        Impl::process_window(lp, window_end, [&](Impl::Event& e) {
+          impl_->execute_event(lp, e, cost_.per_event, inv_bucket, sink_);
+        });
+      } catch (...) {
+        // Reset the execution context before propagating, or later kernels
+        // on this thread would inherit a stale current_lp/now.
+        tl_current_lp = -1;
+        throw;
+      }
     }
     tl_current_lp = -1;
 
@@ -539,6 +721,292 @@ void Kernel::run_threaded(SimTime end_time) {
   for (std::size_t i = 0; i < k; ++i) threads.emplace_back(worker, i);
   for (auto& t : threads) t.join();
   if (failure) std::rethrow_exception(failure);
+}
+
+// ---------------------------------------------------------------------------
+// SyncMode::ChannelLookahead — CMB-style per-channel safe-time advancement.
+//
+// Invariant shared by both renditions below: LP i may execute events with
+// t < bound_i, where bound_i = min over inbound channels (src → i) of
+// clock_src + lookahead(src → i). A sender's published clock never exceeds
+// min(its queue head, its own bound), so everything it executes later — and
+// therefore everything it can still send — has t >= clock + channel
+// lookahead >= the receiver's bound. Since every LP still executes its
+// events in the unique (t, origin, seq) order, per-LP histories (and thus
+// history_hash) are bit-identical to GlobalWindow runs in either execution
+// mode.
+//
+// Idle spans are the protocol's weakness (clocks creep by one lookahead per
+// exchange — the classic null-message avalanche), so when nothing is
+// executable anywhere the run takes one rendezvous barrier, computes the
+// global earliest pending event, and jumps every clock there (or stops).
+// ---------------------------------------------------------------------------
+
+void Kernel::run_channel_sequential(SimTime end_time) {
+  auto& lps = impl_->lps;
+  auto& channels = impl_->channels;
+  const auto k = static_cast<std::size_t>(lp_count_);
+  const double inv_bucket = 1.0 / stats_.bucket_width;
+
+  // Published clocks as plain doubles: Sequential is the canonical
+  // single-threaded rendition of the protocol — same advancement rule as
+  // the threaded atomics, same per-LP event order, same history hash.
+  std::vector<SimTime> clock(k, 0.0);
+
+  // Earliest pending event anywhere (queues and in-flight mailboxes): the
+  // rendezvous GVT used for idle-jumps and termination.
+  auto global_next = [&]() {
+    SimTime m = never();
+    for (auto& lp : lps)
+      if (!lp.queue.empty()) m = std::min(m, lp.queue.top().t);
+    for (auto& ch : channels)
+      for (const Impl::Event& e : ch->mailbox) m = std::min(m, e.t);
+    return m;
+  };
+
+  while (true) {
+    bool any_executed = false;
+    for (std::size_t i = 0; i < k; ++i) {
+      Impl::Lp& lp = lps[i];
+      SimTime bound = never();
+      Impl::Channel* limiter = nullptr;
+      for (std::uint32_t ci : impl_->inbound[i]) {
+        Impl::Channel& ch = *channels[ci];
+        impl_->drain_channel(ch, lp, cost_.per_remote_message);
+        const SimTime b = clock[ch.src] + ch.lookahead;
+        if (b < bound) {
+          bound = b;
+          limiter = &ch;
+        }
+      }
+      const SimTime limit = std::min(bound, end_time);
+      bool executed = false;
+      tl_current_lp = static_cast<int>(i);
+      try {
+        Impl::process_window(lp, limit, [&](Impl::Event& e) {
+          executed = true;
+          impl_->execute_event(lp, e, cost_.per_event, inv_bucket, sink_);
+        });
+      } catch (...) {
+        // Reset the execution context before propagating, or later kernels
+        // on this thread would inherit a stale current_lp/now.
+        tl_current_lp = -1;
+        throw;
+      }
+      tl_current_lp = -1;
+      if (executed) {
+        ++lp.advances;
+        any_executed = true;
+      }
+      // Throttle observability: a pending event this LP cares about is held
+      // unsafe by the binding channel; record who and by how much.
+      if (limiter != nullptr && !lp.queue.empty() &&
+          lp.queue.top().t < end_time && lp.queue.top().t >= bound) {
+        ++limiter->throttled;
+        limiter->max_lag =
+            std::max(limiter->max_lag, lp.queue.top().t - bound);
+      }
+      impl_->flush_channels(i);
+      lp.busy_total += lp.window_busy;
+      lp.window_busy = 0;
+      // Publish: nothing this LP will ever execute — hence send — precedes
+      // min(queue head, bound). Clocks are monotone.
+      const SimTime next = lp.queue.empty() ? never() : lp.queue.top().t;
+      clock[i] = std::max(clock[i], std::min(next, bound));
+    }
+    if (!any_executed) {
+      // A full round executed nothing anywhere: rendezvous.
+      const SimTime gvt = global_next();
+      if (gvt >= end_time || gvt == never()) break;
+      for (std::size_t i = 0; i < k; ++i) clock[i] = std::max(clock[i], gvt);
+      ++stats_.idle_jumps;
+    }
+  }
+}
+
+void Kernel::run_channel_threaded(SimTime end_time) {
+  auto& lps = impl_->lps;
+  auto& channels = impl_->channels;
+  const auto k = static_cast<std::size_t>(lp_count_);
+  const double inv_bucket = 1.0 / stats_.bucket_width;
+
+  // Lock-free published clocks, one cache line each so a publish never
+  // invalidates a neighbour LP's slot.
+  struct alignas(64) ClockSlot {
+    std::atomic<SimTime> v{0.0};
+  };
+  const auto clocks = std::make_unique<ClockSlot[]>(k);
+
+  // Stall accounting: an LP with nothing safely executable parks a token
+  // here and spin-waits. When all k tokens are present every worker heads
+  // into the rendezvous barrier, whose completion step — running with the
+  // whole kernel quiescent — either stops the run or jumps all clocks over
+  // the idle span. Exactly the "barrier only for termination detection and
+  // end-of-run" fallback.
+  std::atomic<int> stalled{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+
+  auto rendezvous_step = [&]() noexcept {
+    stalled.store(0, std::memory_order_relaxed);
+    if (failed.load(std::memory_order_relaxed)) {
+      stop.store(true, std::memory_order_relaxed);
+      return;
+    }
+    SimTime gvt = never();
+    for (auto& lp : lps)
+      if (!lp.queue.empty()) gvt = std::min(gvt, lp.queue.top().t);
+    for (auto& ch : channels)
+      for (const Impl::Event& e : ch->mailbox) gvt = std::min(gvt, e.t);
+    if (gvt >= end_time || gvt == never()) {
+      stop.store(true, std::memory_order_relaxed);
+    } else {
+      for (std::size_t i = 0; i < k; ++i)
+        if (clocks[i].v.load(std::memory_order_relaxed) < gvt)
+          clocks[i].v.store(gvt, std::memory_order_relaxed);
+      ++stats_.idle_jumps;
+    }
+  };
+  std::barrier rendezvous(static_cast<std::ptrdiff_t>(k), rendezvous_step);
+
+  auto worker = [&](std::size_t i) {
+    Impl::Lp& lp = lps[i];
+    const auto& in = impl_->inbound[i];
+    std::vector<SimTime> snapshot(in.size(), 0.0);
+    try {
+      while (!stop.load(std::memory_order_acquire)) {
+        // Drain + bound. Loading the sender's clock with acquire *before*
+        // touching the mailbox pairs with the sender's flush-then-release-
+        // publish: any event not yet visible here must carry
+        // t >= clock + lookahead, i.e. >= our bound.
+        SimTime bound = never();
+        Impl::Channel* limiter = nullptr;
+        for (std::uint32_t ci : in) {
+          Impl::Channel& ch = *channels[ci];
+          const SimTime c = clocks[ch.src].v.load(std::memory_order_acquire);
+          impl_->drain_channel(ch, lp, cost_.per_remote_message);
+          const SimTime b = c + ch.lookahead;
+          if (b < bound) {
+            bound = b;
+            limiter = &ch;
+          }
+        }
+        const SimTime limit = std::min(bound, end_time);
+        bool executed = false;
+        tl_current_lp = static_cast<int>(i);
+        Impl::process_window(lp, limit, [&](Impl::Event& e) {
+          executed = true;
+          impl_->execute_event(lp, e, cost_.per_event, inv_bucket, sink_);
+        });
+        tl_current_lp = -1;
+        if (executed) ++lp.advances;
+        if (limiter != nullptr && !lp.queue.empty() &&
+            lp.queue.top().t < end_time && lp.queue.top().t >= bound) {
+          ++limiter->throttled;
+          limiter->max_lag =
+              std::max(limiter->max_lag, lp.queue.top().t - bound);
+        }
+        // Flush before the release publish (see drain comment above).
+        impl_->flush_channels(i);
+        lp.busy_total += lp.window_busy;
+        lp.window_busy = 0;
+        const SimTime next = lp.queue.empty() ? never() : lp.queue.top().t;
+        const SimTime published = std::min(next, bound);
+        if (published > clocks[i].v.load(std::memory_order_relaxed))
+          clocks[i].v.store(published, std::memory_order_release);
+        if (executed) continue;
+
+        // Stall: nothing safely executable. Spin (yielding) until an
+        // inbound clock moves or mail arrives; if all k LPs end up parked,
+        // the rendezvous barrier resolves the global state.
+        for (std::size_t c = 0; c < in.size(); ++c)
+          snapshot[c] =
+              clocks[channels[in[c]]->src].v.load(std::memory_order_relaxed);
+        const auto wait_start = std::chrono::steady_clock::now();
+        stalled.fetch_add(1, std::memory_order_acq_rel);
+        while (true) {
+          if (stalled.load(std::memory_order_acquire) ==
+              static_cast<int>(k)) {
+            rendezvous.arrive_and_wait();  // consumes our stall token
+            break;
+          }
+          bool wake = false;
+          for (std::size_t c = 0; c < in.size() && !wake; ++c) {
+            Impl::Channel& ch = *channels[in[c]];
+            wake = ch.has_mail.load(std::memory_order_relaxed) ||
+                   clocks[ch.src].v.load(std::memory_order_relaxed) !=
+                       snapshot[c];
+          }
+          if (wake) {
+            stalled.fetch_sub(1, std::memory_order_acq_rel);
+            break;
+          }
+          std::this_thread::yield();
+        }
+        lp.idle_wait += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wait_start)
+                            .count();
+      }
+    } catch (...) {
+      tl_current_lp = -1;
+      {
+        std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+      }
+      failed.store(true, std::memory_order_release);
+      // Publish an infinite clock — this LP executes nothing further, so no
+      // event it could still send undercuts any receiver's bound — then keep
+      // the stall/rendezvous protocol alive until everyone sees stop. The
+      // token is re-parked every round because each rendezvous completion
+      // resets the counter.
+      clocks[i].v.store(never(), std::memory_order_release);
+      while (!stop.load(std::memory_order_acquire)) {
+        stalled.fetch_add(1, std::memory_order_acq_rel);
+        while (!stop.load(std::memory_order_acquire) &&
+               stalled.load(std::memory_order_acquire) != static_cast<int>(k))
+          std::this_thread::yield();
+        if (stop.load(std::memory_order_acquire)) break;
+        rendezvous.arrive_and_wait();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) threads.emplace_back(worker, i);
+  for (auto& t : threads) t.join();
+  if (failure) std::rethrow_exception(failure);
+}
+
+void Kernel::finalize_channel_run(SimTime end_time) {
+  // Channel mode has no windows: the modeled critical path is the busiest
+  // engine plus one rendezvous per idle-jump and one final one for
+  // termination — the perfect-overlap lower bound on cluster time
+  // (DESIGN.md §8 discusses when this is and is not achievable). The
+  // coupled (application) time is additionally floored by the simulated
+  // span, since live applications execute through it in real time.
+  double max_busy = 0;
+  SimTime reached = 0;
+  for (const Impl::Lp& lp : impl_->lps) {
+    max_busy = std::max(max_busy, lp.busy_total);
+    reached = std::max(reached, lp.max_time);
+  }
+  stats_.modeled_time =
+      max_busy +
+      static_cast<double>(stats_.idle_jumps + 1) * cost_.per_window_sync;
+  const SimTime span = std::min(reached, end_time);
+  stats_.coupled_time = std::max(stats_.modeled_time, span);
+  sim_position_ = span;
+  for (const auto& ch : impl_->channels)
+    stats_.channels.push_back({static_cast<int>(ch->src),
+                               static_cast<int>(ch->dst), ch->lookahead,
+                               ch->delivered, ch->throttled, ch->max_lag});
+  std::sort(stats_.channels.begin(), stats_.channels.end(),
+            [](const ChannelStat& a, const ChannelStat& b) {
+              return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+            });
 }
 
 }  // namespace massf::des

@@ -23,6 +23,24 @@
 // std::thread per LP with std::barrier synchronization, demonstrating real
 // parallel execution).
 //
+// Two synchronization protocols are available (SyncMode):
+//
+//   * GlobalWindow (default) — the lockstep protocol above: every LP
+//     advances in windows sized by the single global minimum lookahead,
+//     with a barrier per window.
+//   * ChannelLookahead — CMB-style per-channel earliest-output-time
+//     advancement: each LP holds a lower bound per *inbound channel*
+//     (the sender's published safe time + that channel's lookahead,
+//     registered via set_channel_lookahead from the actual per-engine-pair
+//     cut-link latencies) and advances to the min over its inbound
+//     channels, publishing its own clock through a lock-free cache-line-
+//     aligned atomic slot. No global barrier on the hot path — a
+//     rendezvous barrier runs only for idle-jumps and termination. One
+//     slow (high-latency, i.e. high-lookahead) channel no longer throttles
+//     LP pairs that are only coupled through fast links. Event histories
+//     (history_hash) are bit-identical across both protocols and both
+//     execution modes. See DESIGN.md §8.
+//
 // "Emulation time" is *modeled*, not measured: each event costs
 // cost.per_event seconds of engine CPU, each remote message costs
 // cost.per_remote_message on both sender and receiver, and each window
@@ -68,11 +86,46 @@ class EventSink {
 /// Per-operation costs (seconds of engine CPU) for the modeled emulation
 /// time. Defaults approximate the paper's 550 MHz PII engines on 100 Mb/s
 /// Ethernet: ~5 µs to process a packet event, ~20 µs to ship one across
-/// engines, ~200 µs for a cluster-wide window barrier.
+/// engines, ~200 µs for a cluster-wide window barrier. Under
+/// SyncMode::ChannelLookahead there is no per-window barrier;
+/// per_window_sync is charged only per rendezvous (idle-jump / termination).
 struct CostModel {
   double per_event = 5e-6;
   double per_remote_message = 20e-6;
   double per_window_sync = 200e-6;
+};
+
+/// Synchronization protocol (see header comment).
+enum class SyncMode { GlobalWindow, ChannelLookahead };
+
+/// Stable display name ("global-window" / "channel-lookahead").
+const char* to_string(SyncMode mode);
+
+/// Bulk inbox appends below this size go through ordinary heap pushes; at
+/// or above it — and only when the batch is a sizable fraction of the queue
+/// (batch > queue size, or the queue is empty) — a single sort/make_heap
+/// rebuild is cheaper than m * log(n) sift-ups. 8 is where the rebuild's
+/// O(old + new) linear cost starts winning against per-event sift-ups for
+/// the remote-hop batches the drain phase actually sees. Exposed here so
+/// tests can pin both branches of the drain path to the constant.
+inline constexpr std::size_t kBulkHeapifyThreshold = 8;
+
+/// Per-directed-channel counters under SyncMode::ChannelLookahead
+/// (single-writer: maintained by the receiving LP).
+struct ChannelStat {
+  int src = 0;
+  int dst = 0;
+  /// Registered lookahead of this channel (seconds of sim time).
+  double lookahead = 0;
+  /// Events delivered through this channel's mailbox.
+  std::uint64_t delivered = 0;
+  /// Times this channel was the binding constraint while the receiver had
+  /// a pending event it could not yet safely execute.
+  std::uint64_t throttled = 0;
+  /// Worst safe-time lag observed when throttled: pending event time minus
+  /// the channel-implied bound (how far behind the sender's published
+  /// clock held the receiver back).
+  double max_lag = 0;
 };
 
 /// Execution statistics; the raw material for every paper metric.
@@ -84,8 +137,26 @@ struct KernelStats {
   std::vector<double> busy_per_lp;
   /// Cross-LP messages delivered.
   std::uint64_t remote_messages = 0;
-  /// Synchronization windows executed (each implies a barrier).
+  /// Synchronization windows executed (each implies a barrier). Always 0
+  /// under ChannelLookahead, which has no windows — see channel_advances.
   std::uint64_t windows = 0;
+  /// Protocol this run used.
+  SyncMode sync_mode = SyncMode::GlobalWindow;
+  /// ChannelLookahead only: execution bursts (iterations of the per-LP
+  /// advance loop that executed at least one event) summed over LPs — the
+  /// channel-mode analogue of `windows`, except bursts are per-LP and
+  /// barrier-free.
+  std::uint64_t channel_advances = 0;
+  /// ChannelLookahead only: rendezvous barriers taken to jump over globally
+  /// idle spans (termination detection is one more rendezvous on top).
+  std::uint64_t idle_jumps = 0;
+  /// ChannelLookahead + Threaded only: measured wall-clock seconds each LP
+  /// spent spinning with nothing safely executable (per-engine idle wait).
+  /// Zeros in Sequential mode, where waiting has no meaning.
+  std::vector<double> idle_wait_per_lp;
+  /// ChannelLookahead only: per-directed-channel delivery/throttle stats,
+  /// ordered by (src, dst).
+  std::vector<ChannelStat> channels;
   /// Modeled wall-clock emulation time (see header comment): pure engine
   /// work, Σ_windows (max busy + sync). The right metric for replay runs
   /// ("network emulation time in isolation", paper Figures 9/10).
@@ -132,6 +203,35 @@ class Kernel {
   /// Simulation-time bucket width for the load series (default 2 s, the
   /// paper's fine-grained measurement interval). Set before run_until.
   void set_bucket_width(double width);
+
+  /// Select the synchronization protocol (default GlobalWindow). Set before
+  /// run_until.
+  void set_sync_mode(SyncMode mode);
+  SyncMode sync_mode() const { return sync_mode_; }
+
+  /// Register a directed channel src → dst with its own lookahead (the
+  /// minimum latency of cut links between that engine pair — at least the
+  /// global lookahead, which is the min over *all* pairs). Semantics:
+  ///
+  ///   * No channels registered: all LP pairs are implicitly connected at
+  ///     the global lookahead (ChannelLookahead then degrades gracefully;
+  ///     GlobalWindow is unaffected).
+  ///   * Any channel registered: the channel graph is exactly the
+  ///     registered pairs. schedule_remote / schedule_packet_remote to an
+  ///     unregistered pair is rejected, and remote sends validate against
+  ///     the *channel's* lookahead rather than the global one (this also
+  ///     tightens GlobalWindow-mode validation — safe, since per-pair
+  ///     lookaheads are >= the global minimum by construction).
+  ///
+  /// Registering the same pair again overwrites its lookahead. Must be
+  /// called before run_until.
+  void set_channel_lookahead(int src, int dst, double la);
+
+  /// Lookahead of the directed channel src → dst: the registered value; the
+  /// global lookahead when no channels are registered at all; +infinity for
+  /// a pair absent from a non-empty channel graph (no channel — sends
+  /// rejected).
+  double channel_lookahead(int src, int dst) const;
 
   /// Schedule an event on LP `lp` at absolute time `t`.
   /// Before run_until(): any LP may be targeted (initial event population).
@@ -180,6 +280,10 @@ class Kernel {
 
   void run_sequential(SimTime end_time);
   void run_threaded(SimTime end_time);
+  void run_channel_sequential(SimTime end_time);
+  void run_channel_threaded(SimTime end_time);
+  void finalize_channel_run(SimTime end_time);
+  double remote_lookahead(int to_lp) const;
 
   int lp_count_;
   double lookahead_;
@@ -188,6 +292,7 @@ class Kernel {
   KernelStats stats_;
   SimTime sim_position_ = 0;  // sim time already charged to coupled_time
   bool ran_ = false;
+  SyncMode sync_mode_ = SyncMode::GlobalWindow;
   std::unique_ptr<Impl> impl_;
 };
 

@@ -65,6 +65,8 @@ Emulator::Emulator(const topology::Network& network,
   kernel_ = std::make_unique<des::Kernel>(engines_, lookahead_, config_.cost);
   kernel_->set_bucket_width(config_.bucket_width);
   kernel_->set_event_sink(this);
+  kernel_->set_sync_mode(config_.sync_mode);
+  register_channel_lookaheads();
   if (config_.collect_netflow)
     netflow_ = std::make_unique<NetFlowCollector>(
         network.node_count(), network.link_count(), config_.bucket_width);
@@ -89,6 +91,41 @@ double Emulator::compute_lookahead() const {
   if (!std::isfinite(lo)) lo = std::max(config_.min_lookahead,
                                         network_.min_link_latency());
   return lo;
+}
+
+void Emulator::register_channel_lookaheads() {
+  // One kernel channel per directed engine pair joined by at least one cut
+  // link, with the pair's own minimum cut-link latency. The only
+  // cross-engine events the emulator ever schedules are packet hops along
+  // cut links (transmit()), whose arrival is depart + serialization +
+  // link latency >= now + pair lookahead; epoch boundaries and reliable
+  // timers are engine-local. With no cut links at all (every node on one
+  // engine) nothing is registered and the kernel keeps its implicit
+  // all-pairs coupling at the global lookahead.
+  std::vector<double> pair_min(
+      static_cast<std::size_t>(engines_) * static_cast<std::size_t>(engines_),
+      std::numeric_limits<double>::infinity());
+  for (topology::LinkId l = 0; l < network_.link_count(); ++l) {
+    const topology::Link& link = network_.link(l);
+    const int ea = node_engine_[static_cast<std::size_t>(link.a)];
+    const int eb = node_engine_[static_cast<std::size_t>(link.b)];
+    if (ea == eb) continue;
+    auto& slot_ab = pair_min[static_cast<std::size_t>(ea) *
+                                static_cast<std::size_t>(engines_) +
+                            static_cast<std::size_t>(eb)];
+    slot_ab = std::min(slot_ab, link.latency_s);
+    auto& slot_ba = pair_min[static_cast<std::size_t>(eb) *
+                                static_cast<std::size_t>(engines_) +
+                            static_cast<std::size_t>(ea)];
+    slot_ba = std::min(slot_ba, link.latency_s);
+  }
+  for (int s = 0; s < engines_; ++s)
+    for (int d = 0; d < engines_; ++d) {
+      const double la = pair_min[static_cast<std::size_t>(s) *
+                                     static_cast<std::size_t>(engines_) +
+                                 static_cast<std::size_t>(d)];
+      if (std::isfinite(la)) kernel_->set_channel_lookahead(s, d, la);
+    }
 }
 
 void Emulator::install_endpoint(NodeId host,

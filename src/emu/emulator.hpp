@@ -68,6 +68,16 @@ struct EmulatorConfig {
   double min_lookahead = 1e-4;
   /// Reliable-delivery retry policy (used by send_reliable only).
   ReliablePolicy reliable{};
+  /// Kernel synchronization protocol. Regardless of the mode, the emulator
+  /// registers one kernel channel per directed engine pair connected by a
+  /// cut link, with that pair's own minimum cut-link latency as lookahead;
+  /// ChannelLookahead then lets engine pairs coupled only through
+  /// high-latency links advance independently of the global minimum. Every
+  /// cross-engine event the emulator produces rides a cut link (packet
+  /// hops; fault-epoch boundaries and reliable-delivery retransmit timers
+  /// are scheduled engine-locally), so per-pair cut minima are valid
+  /// channel lookaheads by construction.
+  des::SyncMode sync_mode = des::SyncMode::GlobalWindow;
 };
 
 /// Aggregate emulator counters (folded from per-node slots after a run).
@@ -311,6 +321,7 @@ class Emulator : private des::EventSink {
   int pool_shard() const;
 
   double compute_lookahead() const;
+  void register_channel_lookaheads();
 
   const topology::Network& network_;
   const routing::RoutingTables& routes_;

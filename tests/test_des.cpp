@@ -170,8 +170,10 @@ TEST(Kernel, ThreadedExceptionPropagates) {
 
 /// Build a deterministic ping-pong workload across `lps` LPs and return the
 /// kernel stats after running in the given mode.
-KernelStats pingpong(int lps, ExecutionMode mode) {
+KernelStats pingpong(int lps, ExecutionMode mode,
+                     SyncMode sync = SyncMode::GlobalWindow) {
   Kernel kernel(lps, 1.0);
+  kernel.set_sync_mode(sync);
   // Self-perpetuating chains: each LP forwards a token around the ring,
   // also scheduling local work.
   std::function<void(int, int)> hop = [&](int lp, int hops_left) {
@@ -335,8 +337,10 @@ TEST(KernelPacket, BulkFanInExecutesInTimestampOrder) {
 
 /// Packet-path analogue of pingpong(): hop chains forwarded by the sink,
 /// with callback filler interleaved.
-KernelStats packet_pingpong(int lps, ExecutionMode mode) {
+KernelStats packet_pingpong(int lps, ExecutionMode mode,
+                            SyncMode sync = SyncMode::GlobalWindow) {
   Kernel kernel(lps, 1.0);
+  kernel.set_sync_mode(sync);
   ForwardingSink sink(kernel, lps);
   kernel.set_event_sink(&sink);
   std::vector<HopRecord> records(static_cast<std::size_t>(2 * lps));
@@ -367,6 +371,259 @@ TEST_P(PacketModeEquivalence, SequentialAndThreadedIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(LpCounts, PacketModeEquivalence,
                          ::testing::Values(1, 2, 3, 4, 8));
+
+// ---- SyncMode::ChannelLookahead ------------------------------------------
+
+TEST(ChannelSync, ValidationRejectsBadRegistrations) {
+  Kernel kernel(3, 1.0);
+  // Lookahead below the global minimum would let a channel undercut the
+  // safety bound every other channel assumes.
+  EXPECT_THROW(kernel.set_channel_lookahead(0, 1, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(kernel.set_channel_lookahead(0, 0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(kernel.set_channel_lookahead(0, 3, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(kernel.set_channel_lookahead(-1, 1, 2.0),
+               std::invalid_argument);
+  kernel.set_channel_lookahead(0, 1, 2.0);
+  kernel.schedule(0, 0.1, [] {});
+  kernel.run_until(1.0);
+  EXPECT_THROW(kernel.set_channel_lookahead(1, 0, 2.0),
+               std::invalid_argument);
+}
+
+TEST(ChannelSync, LookaheadAccessorSemantics) {
+  Kernel kernel(3, 1.0);
+  // Nothing registered: every pair is implicitly at the global lookahead.
+  EXPECT_DOUBLE_EQ(kernel.channel_lookahead(0, 1), 1.0);
+  kernel.set_channel_lookahead(0, 1, 2.5);
+  EXPECT_DOUBLE_EQ(kernel.channel_lookahead(0, 1), 2.5);
+  // Registered graph is now authoritative: absent pairs have no channel.
+  EXPECT_EQ(kernel.channel_lookahead(1, 0), Kernel::never());
+  // Re-registration overwrites.
+  kernel.set_channel_lookahead(0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(kernel.channel_lookahead(0, 1), 3.0);
+}
+
+TEST(ChannelSync, RemoteSendValidatesAgainstChannelLookahead) {
+  Kernel kernel(2, 1.0);
+  kernel.set_channel_lookahead(0, 1, 2.0);
+  kernel.set_channel_lookahead(1, 0, 1.0);
+  bool tight_caught = false;
+  double delivered_at = -1;
+  kernel.schedule(0, 1.0, [&] {
+    // Legal under the global lookahead (1.0) but not under this channel's.
+    try {
+      kernel.schedule_remote(1, 2.5, [] {});
+    } catch (const std::invalid_argument&) {
+      tight_caught = true;
+    }
+    kernel.schedule_remote(1, 3.0, [&] { delivered_at = kernel.now(); });
+  });
+  kernel.run_until(10.0);
+  EXPECT_TRUE(tight_caught);
+  EXPECT_DOUBLE_EQ(delivered_at, 3.0);
+}
+
+TEST(ChannelSync, SendOnUnregisteredPairRejected) {
+  Kernel kernel(3, 1.0);
+  kernel.set_channel_lookahead(0, 1, 1.0);
+  bool caught = false;
+  kernel.schedule(0, 1.0, [&] {
+    try {
+      kernel.schedule_remote(2, 5.0, [] {});
+    } catch (const std::invalid_argument&) {
+      caught = true;
+    }
+  });
+  kernel.run_until(2.0);
+  EXPECT_TRUE(caught);
+}
+
+/// All four (sync mode × execution mode) combinations must execute the
+/// exact same per-LP event history: the conservative schedule never changes
+/// which events run or their per-LP order, only when they become safe.
+class ChannelModeEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChannelModeEquivalence, HistoryIdenticalAcrossProtocolsAndModes) {
+  const int lps = GetParam();
+  const KernelStats global_seq = pingpong(lps, ExecutionMode::Sequential);
+  const KernelStats chan_seq = pingpong(lps, ExecutionMode::Sequential,
+                                        SyncMode::ChannelLookahead);
+  const KernelStats chan_thr = pingpong(lps, ExecutionMode::Threaded,
+                                        SyncMode::ChannelLookahead);
+  EXPECT_EQ(global_seq.history_hash, chan_seq.history_hash);
+  EXPECT_EQ(global_seq.history_hash, chan_thr.history_hash);
+  EXPECT_EQ(global_seq.events_per_lp, chan_seq.events_per_lp);
+  EXPECT_EQ(global_seq.events_per_lp, chan_thr.events_per_lp);
+  EXPECT_EQ(global_seq.remote_messages, chan_seq.remote_messages);
+  EXPECT_EQ(global_seq.remote_messages, chan_thr.remote_messages);
+  EXPECT_EQ(chan_seq.load_series, chan_thr.load_series);
+  // Busy totals are sync-mode-invariant (same events, same messages).
+  for (std::size_t i = 0; i < global_seq.busy_per_lp.size(); ++i)
+    EXPECT_NEAR(global_seq.busy_per_lp[i], chan_seq.busy_per_lp[i], 1e-12);
+  // Channel mode has no windows; it advances per-LP instead.
+  EXPECT_EQ(chan_seq.windows, 0u);
+  EXPECT_EQ(chan_thr.windows, 0u);
+  EXPECT_GT(chan_seq.channel_advances, 0u);
+  EXPECT_GT(chan_thr.channel_advances, 0u);
+  EXPECT_EQ(chan_seq.sync_mode, SyncMode::ChannelLookahead);
+}
+
+INSTANTIATE_TEST_SUITE_P(LpCounts, ChannelModeEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+class PacketChannelModeEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PacketChannelModeEquivalence, HistoryIdenticalAcrossProtocolsAndModes) {
+  const int lps = GetParam();
+  const KernelStats global_seq = packet_pingpong(lps, ExecutionMode::Sequential);
+  const KernelStats chan_seq = packet_pingpong(lps, ExecutionMode::Sequential,
+                                               SyncMode::ChannelLookahead);
+  const KernelStats chan_thr = packet_pingpong(lps, ExecutionMode::Threaded,
+                                               SyncMode::ChannelLookahead);
+  EXPECT_EQ(global_seq.history_hash, chan_seq.history_hash);
+  EXPECT_EQ(global_seq.history_hash, chan_thr.history_hash);
+  EXPECT_EQ(global_seq.events_per_lp, chan_seq.events_per_lp);
+  EXPECT_EQ(global_seq.events_per_lp, chan_thr.events_per_lp);
+  EXPECT_EQ(global_seq.remote_messages, chan_seq.remote_messages);
+  EXPECT_EQ(global_seq.remote_messages, chan_thr.remote_messages);
+  EXPECT_EQ(chan_seq.load_series, chan_thr.load_series);
+}
+
+INSTANTIATE_TEST_SUITE_P(LpCounts, PacketChannelModeEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+/// A slow channel must not throttle a pair coupled only through fast
+/// channels — the whole point of per-channel bounds. Two fast-coupled LPs
+/// exchange many hops; a third LP is reachable only through high-lookahead
+/// channels. Deliveries and throttle stats come out per channel.
+TEST(ChannelSync, HeterogeneousLookaheadsTrackPerChannelStats) {
+  for (const auto mode :
+       {ExecutionMode::Sequential, ExecutionMode::Threaded}) {
+    Kernel kernel(3, 0.5);
+    kernel.set_sync_mode(SyncMode::ChannelLookahead);
+    kernel.set_channel_lookahead(0, 1, 0.5);
+    kernel.set_channel_lookahead(1, 0, 0.5);
+    kernel.set_channel_lookahead(0, 2, 50.0);
+    kernel.set_channel_lookahead(2, 0, 50.0);
+    std::function<void(int, int, int)> hop = [&](int from, int to,
+                                                 int hops_left) {
+      if (hops_left == 0) return;
+      kernel.schedule_remote(to, kernel.now() + 0.5, [&hop, from, to,
+                                                      hops_left] {
+        hop(to, from, hops_left - 1);
+      });
+    };
+    kernel.schedule(0, 0.1, [&] { hop(0, 1, 60); });
+    kernel.schedule(0, 0.2, [&] {
+      kernel.schedule_remote(2, kernel.now() + 50.0, [] {});
+    });
+    kernel.run_until(1e6, mode);
+    const KernelStats& stats = kernel.stats();
+    // 60 fast hops + 1 slow delivery.
+    EXPECT_EQ(stats.remote_messages, 61u);
+    ASSERT_EQ(stats.channels.size(), 4u);
+    // channels sorted by (src, dst): (0,1), (0,2), (1,0), (2,0).
+    EXPECT_EQ(stats.channels[0].dst, 1);
+    EXPECT_EQ(stats.channels[0].delivered + stats.channels[2].delivered, 60u);
+    EXPECT_EQ(stats.channels[1].delivered, 1u);
+    EXPECT_DOUBLE_EQ(stats.channels[1].lookahead, 50.0);
+  }
+}
+
+/// Channel-mode analogue of IdleSpansAreSkipped: sparse events must be
+/// bridged by a bounded number of rendezvous jumps, not lookahead-sized
+/// clock creep.
+TEST(ChannelSync, IdleSpansAreJumped) {
+  for (const auto mode :
+       {ExecutionMode::Sequential, ExecutionMode::Threaded}) {
+    Kernel kernel(2, 1.0);
+    kernel.set_sync_mode(SyncMode::ChannelLookahead);
+    double delivered_at = -1;
+    kernel.schedule(0, 0.5, [&] {
+      kernel.schedule_remote(1, 1000.0, [&] { delivered_at = kernel.now(); });
+    });
+    kernel.run_until(2000.0, mode);
+    EXPECT_DOUBLE_EQ(delivered_at, 1000.0);
+    // One jump to reach t=1000 (plus at most a couple of rendezvous that
+    // raced with delivery in threaded mode) — never ~1000 clock steps.
+    EXPECT_LE(kernel.stats().idle_jumps, 6u);
+  }
+}
+
+TEST(ChannelSync, ThreadedExceptionPropagates) {
+  Kernel kernel(2, 1.0);
+  kernel.set_sync_mode(SyncMode::ChannelLookahead);
+  kernel.schedule(0, 0.5, [] { throw std::runtime_error("boom"); });
+  kernel.schedule(1, 0.5, [] {});
+  EXPECT_THROW(kernel.run_until(10.0, ExecutionMode::Threaded),
+               std::runtime_error);
+}
+
+TEST(ChannelSync, SequentialExceptionPropagates) {
+  Kernel kernel(2, 1.0);
+  kernel.set_sync_mode(SyncMode::ChannelLookahead);
+  kernel.schedule(0, 0.5, [] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(kernel.run_until(10.0), std::runtime_error);
+}
+
+// ---- Bulk-heapify threshold (both drain branches) ------------------------
+
+/// Fan `count` remote events into LP 0 in one batch and return the order
+/// they executed in; `preload_locals` seeds the receiver's queue first so
+/// the batch-vs-queue-size arm of the bulk condition is exercised too.
+std::vector<double> fan_in_order(std::size_t count,
+                                 std::size_t preload_locals) {
+  Kernel kernel(2, 1.0);
+  std::vector<double> order;
+  for (std::size_t i = 0; i < preload_locals; ++i)
+    kernel.schedule(0, 5.0 + 0.5 * static_cast<double>(i),
+                    [&order, i] { order.push_back(5.0 + 0.5 * i); });
+  kernel.schedule(1, 0.5, [&] {
+    for (std::size_t i = 0; i < count; ++i) {
+      // Descending times: a sorted-run shortcut that failed to sort would
+      // execute these backwards.
+      const double t = 2.0 + 0.01 * static_cast<double>(count - i);
+      kernel.schedule_remote(0, t, [&order, t] { order.push_back(t); });
+    }
+  });
+  kernel.run_until(100.0);
+  return order;
+}
+
+TEST(BulkHeapify, BelowThresholdUsesPerEventPushes) {
+  const std::size_t n = kBulkHeapifyThreshold - 1;
+  const auto order = fan_in_order(n, 0);
+  ASSERT_EQ(order.size(), n);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(BulkHeapify, AtThresholdIntoEmptyQueueUsesSortedRun) {
+  const std::size_t n = kBulkHeapifyThreshold;
+  const auto order = fan_in_order(n, 0);
+  ASSERT_EQ(order.size(), n);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(BulkHeapify, DominantBatchIntoNonEmptyQueueRebuildsHeap) {
+  // Batch above the threshold *and* larger than the pre-existing queue:
+  // the make_heap arm. Locals at t > batch must still run after it.
+  const std::size_t n = 3 * kBulkHeapifyThreshold;
+  const auto order = fan_in_order(n, 2);
+  ASSERT_EQ(order.size(), n + 2);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(BulkHeapify, SmallBatchIntoLargerQueueStaysOnPushPath) {
+  // Batch >= threshold but smaller than the queue: the bulk condition's
+  // second clause keeps it on per-event pushes.
+  const std::size_t n = kBulkHeapifyThreshold;
+  const auto order = fan_in_order(n, 2 * kBulkHeapifyThreshold);
+  ASSERT_EQ(order.size(), n + 2 * kBulkHeapifyThreshold);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
 
 }  // namespace
 }  // namespace massf::des

@@ -4,6 +4,7 @@
 // Sequential-vs-Threaded determinism under an active fault plan.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <memory>
 
 #include "emu/emulator.hpp"
@@ -443,12 +444,14 @@ struct FaultRun {
 
 FaultRun run_campus_with_faults(const Network& net, const RoutingTables& tables,
                                 const FaultTimeline& timeline, int engines,
-                                des::ExecutionMode mode) {
+                                des::ExecutionMode mode,
+                                des::SyncMode sync = des::SyncMode::GlobalWindow) {
   std::vector<int> placement(static_cast<std::size_t>(net.node_count()));
   for (std::size_t i = 0; i < placement.size(); ++i)
     placement[i] = static_cast<int>(i) % engines;
   EmulatorConfig config;
   config.reliable.base_timeout_s = 0.5;
+  config.sync_mode = sync;
   Emulator emu(net, tables, std::move(placement), engines, config);
   emu.set_fault_timeline(&timeline);
 
@@ -515,6 +518,77 @@ TEST(FaultDeterminism, CampusRandomPlanSequentialAndThreadedIdentical) {
     // Every run obeys train conservation, faults included.
     EXPECT_EQ(seq.emu.trains_injected, conservation_rhs(seq.emu));
     EXPECT_EQ(thr.emu.trains_injected, conservation_rhs(thr.emu));
+  }
+}
+
+// Fault epochs and reliable retransmissions must be oblivious to the sync
+// protocol: per-channel safe-time advancement reorders wall-clock execution
+// but never virtual-time causality, so the history hash and the per-epoch
+// drop/recovery ledgers are bit-identical across all four (sync × exec)
+// combinations under an active random fault plan.
+TEST(FaultDeterminism, CampusRandomPlanIdenticalAcrossSyncModes) {
+  const Network net = make_campus();
+  const RoutingTables tables = RoutingTables::build(net);
+  RandomFaultParams params;
+  params.seed = 20260805;
+  params.horizon_s = 25.0;
+  params.link_faults = 3;
+  params.router_faults = 1;
+  params.mttr_s = 4.0;
+  const FaultPlan plan = FaultPlan::random(net, params);
+  ASSERT_GT(plan.size(), 0u);
+  const FaultTimeline timeline(net, plan);
+  ASSERT_GT(timeline.epoch_count(), 1u);
+
+  for (const int engines : {2, 4}) {
+    const FaultRun baseline =
+        run_campus_with_faults(net, tables, timeline, engines,
+                               des::ExecutionMode::Sequential,
+                               des::SyncMode::GlobalWindow);
+    const std::array<FaultRun, 3> others = {
+        run_campus_with_faults(net, tables, timeline, engines,
+                               des::ExecutionMode::Threaded,
+                               des::SyncMode::GlobalWindow),
+        run_campus_with_faults(net, tables, timeline, engines,
+                               des::ExecutionMode::Sequential,
+                               des::SyncMode::ChannelLookahead),
+        run_campus_with_faults(net, tables, timeline, engines,
+                               des::ExecutionMode::Threaded,
+                               des::SyncMode::ChannelLookahead)};
+    for (std::size_t r = 0; r < others.size(); ++r) {
+      const FaultRun& run = others[r];
+      SCOPED_TRACE(::testing::Message()
+                   << engines << " engines, combo " << r);
+      EXPECT_EQ(baseline.kernel.history_hash, run.kernel.history_hash);
+      EXPECT_EQ(baseline.kernel.events_per_lp, run.kernel.events_per_lp);
+      EXPECT_EQ(baseline.emu.trains_delivered, run.emu.trains_delivered);
+      EXPECT_EQ(baseline.emu.trains_dropped_fault,
+                run.emu.trains_dropped_fault);
+      EXPECT_EQ(baseline.emu.trains_dropped_unreachable,
+                run.emu.trains_dropped_unreachable);
+      EXPECT_EQ(baseline.emu.retransmissions, run.emu.retransmissions);
+      EXPECT_EQ(baseline.emu.reliable_messages_acked,
+                run.emu.reliable_messages_acked);
+      ASSERT_EQ(baseline.epochs.size(), run.epochs.size());
+      for (std::size_t e = 0; e < baseline.epochs.size(); ++e) {
+        SCOPED_TRACE(::testing::Message() << "epoch " << e);
+        EXPECT_EQ(baseline.epochs[e].trains_dropped_fault,
+                  run.epochs[e].trains_dropped_fault);
+        EXPECT_EQ(baseline.epochs[e].trains_dropped_unreachable,
+                  run.epochs[e].trains_dropped_unreachable);
+        EXPECT_EQ(baseline.epochs[e].retransmissions,
+                  run.epochs[e].retransmissions);
+        EXPECT_EQ(baseline.epochs[e].reliable_recovered,
+                  run.epochs[e].reliable_recovered);
+        EXPECT_DOUBLE_EQ(baseline.epochs[e].max_recovery_s,
+                         run.epochs[e].max_recovery_s);
+      }
+      EXPECT_EQ(run.emu.trains_injected, conservation_rhs(run.emu));
+    }
+    // The channel-mode runs actually exercised the channel protocol.
+    EXPECT_EQ(others[1].kernel.sync_mode, des::SyncMode::ChannelLookahead);
+    EXPECT_GT(others[1].kernel.channel_advances, 0u);
+    EXPECT_EQ(others[1].kernel.windows, 0u);
   }
 }
 
