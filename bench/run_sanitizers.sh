@@ -1,21 +1,26 @@
 #!/usr/bin/env bash
-# Build and run the test suite under ThreadSanitizer and AddressSanitizer.
+# Build and run the test suite under ThreadSanitizer, AddressSanitizer and
+# UndefinedBehaviorSanitizer.
 #
-#   bench/run_sanitizers.sh            # full suite under both sanitizers
+#   bench/run_sanitizers.sh            # full suite under all three sanitizers
 #   bench/run_sanitizers.sh -L faults  # just the fault-injection tests
 #
 # Extra arguments are passed to ctest verbatim. Each sanitizer gets its own
-# build tree (build-tsan / build-asan), matching the CMakePresets.json
-# tsan/asan presets, so switching sanitizers never forces a full rebuild.
+# build tree (build-tsan / build-asan / build-ubsan), matching the
+# CMakePresets.json tsan/asan/ubsan presets, so switching sanitizers never
+# forces a full rebuild.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 2)"
 status=0
 
-for sanitizer in thread address; do
-  build="build-${sanitizer:0:1}san"  # build-tsan / build-asan
-  [ "$sanitizer" = address ] && build=build-asan
+for sanitizer in thread address undefined; do
+  case "$sanitizer" in
+    thread)    build=build-tsan ;;
+    address)   build=build-asan ;;
+    undefined) build=build-ubsan ;;
+  esac
   echo "=== MASSF_SANITIZE=$sanitizer ($build) ==="
   cmake -B "$build" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DMASSF_SANITIZE="$sanitizer" >/dev/null

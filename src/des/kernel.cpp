@@ -8,9 +8,10 @@
 #include <cstring>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
+
+#include "util/thread_annotations.hpp"
 
 namespace massf::des {
 
@@ -45,6 +46,31 @@ std::uint64_t time_bits(SimTime t) {
 // Threaded mode is race-free; Sequential mode uses the caller's thread.
 thread_local int tl_current_lp = -1;
 thread_local SimTime tl_now = 0;
+
+/// First-exception box shared by the worker threads of a run. `failed` is
+/// the lock-free flag the hot loops poll; the exception itself travels
+/// under the mutex. Cold by construction (touched only on failure), but the
+/// polled flag still gets its own cache line so reading it never contends
+/// with the slot the mutex protects.
+struct FailureBox {
+  util::Mutex m;
+  std::exception_ptr first MASSF_GUARDED_BY(m);
+  alignas(64) std::atomic<bool> failed{false};
+
+  void record(std::exception_ptr e) {
+    {
+      util::MutexLock lock(m);
+      if (!first) first = std::move(e);
+    }
+    failed.store(true, std::memory_order_release);
+  }
+
+  /// Null when no worker failed. Call after the threads are joined.
+  std::exception_ptr take() {
+    util::MutexLock lock(m);
+    return first;
+  }
+};
 
 }  // namespace
 
@@ -168,9 +194,11 @@ struct Kernel::Impl {
     std::uint32_t src = 0;
     std::uint32_t dst = 0;
     double lookahead = 0;
-    std::mutex m;
-    std::vector<Event> mailbox;
-    std::atomic<bool> has_mail{false};
+    util::Mutex m;
+    std::vector<Event> mailbox MASSF_GUARDED_BY(m);
+    /// Own cache line: polled by the receiver's stall loop while the sender
+    /// publishes, so it must not share a line with the mutex or stats.
+    alignas(64) std::atomic<bool> has_mail{false};
     // Receiver-side stats (single-writer: the dst LP's thread).
     std::uint64_t delivered = 0;
     std::uint64_t throttled = 0;
@@ -196,12 +224,14 @@ struct Kernel::Impl {
     // Events still pending when the kernel dies (end_time cutoffs) own
     // their callback boxes; executed events already deleted theirs.
     for (Lp& lp : lps) {
-      for (Event& e : lp.queue.v) delete e.cb;
+      for (Event& e : lp.queue.v) delete e.cb;  // massf-lint: allow(raw-new)
       for (auto& box : lp.outbox)
-        for (Event& e : box) delete e.cb;
+        for (Event& e : box) delete e.cb;  // massf-lint: allow(raw-new)
     }
-    for (auto& ch : channels)
-      for (Event& e : ch->mailbox) delete e.cb;
+    for (auto& ch : channels) {
+      util::MutexLock lock(ch->m);  // workers are gone; lock for the analysis
+      for (Event& e : ch->mailbox) delete e.cb;  // massf-lint: allow(raw-new)
+    }
   }
 
   std::int32_t channel_index(std::size_t src, std::size_t dst) const {
@@ -345,7 +375,7 @@ struct Kernel::Impl {
       Channel& ch =
           *channels[static_cast<std::size_t>(channel_index(src, dst))];
       {
-        std::lock_guard<std::mutex> lock(ch.m);
+        util::MutexLock lock(ch.m);
         ch.mailbox.insert(ch.mailbox.end(), box.begin(), box.end());
       }
       box.clear();
@@ -362,7 +392,7 @@ struct Kernel::Impl {
     ch.has_mail.store(false, std::memory_order_relaxed);
     receiver.scratch.clear();
     {
-      std::lock_guard<std::mutex> lock(ch.m);
+      util::MutexLock lock(ch.m);
       ch.mailbox.swap(receiver.scratch);
     }
     ch.delivered += receiver.scratch.size();
@@ -475,8 +505,10 @@ void Kernel::schedule(int lp, SimTime t, Callback fn) {
   check_local_target(lp, lp_count_, t);
   MASSF_REQUIRE(fn, "event callback must be callable");
   Impl::Lp& state = impl_->lps[static_cast<std::size_t>(lp)];
+  // Event callback box: single terminal owner (execute_event / ~Impl).
   state.queue.push({t, static_cast<std::uint32_t>(lp), state.seq_counter++,
-                    PacketEvent{}, new Callback(std::move(fn))});
+                    PacketEvent{},
+                    new Callback(std::move(fn))});  // massf-lint: allow(raw-new)
 }
 
 void Kernel::schedule_packet(int lp, SimTime t, PacketEvent event) {
@@ -495,9 +527,10 @@ void Kernel::schedule_remote(int to_lp, SimTime t, Callback fn) {
   auto& box = sender.outbox[static_cast<std::size_t>(to_lp)];
   if (box.empty())
     sender.dirty_dsts.push_back(static_cast<std::uint32_t>(to_lp));
+  // Event callback box: single terminal owner (execute_event / ~Impl).
   box.push_back({t, static_cast<std::uint32_t>(tl_current_lp),
                  sender.seq_counter++, PacketEvent{},
-                 new Callback(std::move(fn))});
+                 new Callback(std::move(fn))});  // massf-lint: allow(raw-new)
   sender.window_busy += cost_.per_remote_message;
   ++sender.remote_sent;
 }
@@ -639,17 +672,15 @@ void Kernel::run_threaded(SimTime end_time) {
   const double inv_bucket = 1.0 / stats_.bucket_width;
 
   std::atomic<bool> stop{false};
-  std::atomic<bool> failed{false};
   SimTime window_end = 0;
-  std::exception_ptr failure;
-  std::mutex failure_mutex;
+  FailureBox failure;
 
   // Barrier A (after publish/drain): pick the next window or stop.
   auto decide = [&]() noexcept {
     SimTime global_min = never();
     for (auto& lp : lps) global_min = std::min(global_min, lp.published_next);
     if (global_min >= end_time || global_min == never() ||
-        failed.load(std::memory_order_relaxed))
+        failure.failed.load(std::memory_order_relaxed))
       stop.store(true, std::memory_order_relaxed);
     else
       window_end = std::min(global_min + lookahead_, end_time);
@@ -699,11 +730,7 @@ void Kernel::run_threaded(SimTime end_time) {
       }
     } catch (...) {
       tl_current_lp = -1;
-      {
-        std::lock_guard<std::mutex> lock(failure_mutex);
-        if (!failure) failure = std::current_exception();
-      }
-      failed.store(true, std::memory_order_relaxed);
+      failure.record(std::current_exception());
       // Keep participating in barriers (publishing "idle") until everyone
       // observes the stop flag, so no thread deadlocks waiting for us.
       lp.published_next = never();
@@ -720,7 +747,7 @@ void Kernel::run_threaded(SimTime end_time) {
   threads.reserve(k);
   for (std::size_t i = 0; i < k; ++i) threads.emplace_back(worker, i);
   for (auto& t : threads) t.join();
-  if (failure) std::rethrow_exception(failure);
+  if (auto first = failure.take()) std::rethrow_exception(first);
 }
 
 // ---------------------------------------------------------------------------
@@ -759,8 +786,10 @@ void Kernel::run_channel_sequential(SimTime end_time) {
     SimTime m = never();
     for (auto& lp : lps)
       if (!lp.queue.empty()) m = std::min(m, lp.queue.top().t);
-    for (auto& ch : channels)
+    for (auto& ch : channels) {
+      util::MutexLock lock(ch->m);  // single-threaded here; cheap, uncontended
       for (const Impl::Event& e : ch->mailbox) m = std::min(m, e.t);
+    }
     return m;
   };
 
@@ -845,21 +874,23 @@ void Kernel::run_channel_threaded(SimTime end_time) {
   // end-of-run" fallback.
   std::atomic<int> stalled{0};
   std::atomic<bool> stop{false};
-  std::atomic<bool> failed{false};
-  std::exception_ptr failure;
-  std::mutex failure_mutex;
+  FailureBox failure;
 
   auto rendezvous_step = [&]() noexcept {
     stalled.store(0, std::memory_order_relaxed);
-    if (failed.load(std::memory_order_relaxed)) {
+    if (failure.failed.load(std::memory_order_relaxed)) {
       stop.store(true, std::memory_order_relaxed);
       return;
     }
     SimTime gvt = never();
     for (auto& lp : lps)
       if (!lp.queue.empty()) gvt = std::min(gvt, lp.queue.top().t);
-    for (auto& ch : channels)
+    for (auto& ch : channels) {
+      // Every worker is parked in this barrier, so the mailboxes are
+      // quiescent; the lock is uncontended and keeps the discipline honest.
+      util::MutexLock lock(ch->m);
       for (const Impl::Event& e : ch->mailbox) gvt = std::min(gvt, e.t);
+    }
     if (gvt >= end_time || gvt == never()) {
       stop.store(true, std::memory_order_relaxed);
     } else {
@@ -951,11 +982,7 @@ void Kernel::run_channel_threaded(SimTime end_time) {
       }
     } catch (...) {
       tl_current_lp = -1;
-      {
-        std::lock_guard<std::mutex> lock(failure_mutex);
-        if (!failure) failure = std::current_exception();
-      }
-      failed.store(true, std::memory_order_release);
+      failure.record(std::current_exception());
       // Publish an infinite clock — this LP executes nothing further, so no
       // event it could still send undercuts any receiver's bound — then keep
       // the stall/rendezvous protocol alive until everyone sees stop. The
@@ -977,7 +1004,7 @@ void Kernel::run_channel_threaded(SimTime end_time) {
   threads.reserve(k);
   for (std::size_t i = 0; i < k; ++i) threads.emplace_back(worker, i);
   for (auto& t : threads) t.join();
-  if (failure) std::rethrow_exception(failure);
+  if (auto first = failure.take()) std::rethrow_exception(first);
 }
 
 void Kernel::finalize_channel_run(SimTime end_time) {

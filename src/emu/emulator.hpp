@@ -260,8 +260,13 @@ class Emulator : private des::EventSink {
     std::uint64_t duplicate_deliveries = 0;
     double bytes_delivered = 0;
     // Reliable-delivery state: touched only on this node's engine, so it
-    // follows the same race-freedom rule as the counters above.
+    // follows the same race-freedom rule as the counters above. Audited for
+    // determinism: both containers see only find/insert/erase by key —
+    // never iteration — so their (hash-dependent) element order cannot
+    // reach event order. See DESIGN.md §9.
+    // massf-lint: allow(unordered-container)
     std::unordered_map<std::uint64_t, PendingReliable> pending;  // as sender
+    // massf-lint: allow(unordered-container)
     std::unordered_set<std::uint64_t> reliable_seen;             // as receiver
   };
 

@@ -95,7 +95,9 @@ class TraceReplayer {
   Trace trace_;
   std::vector<std::size_t> next_send_;        // per host: next trace index
   std::vector<std::uint64_t> received_;       // per host: deliveries so far
-  std::atomic<std::size_t> issued_{0};        // shared; atomic for Threaded
+  /// Shared across engine threads (atomic for Threaded mode); own cache
+  /// line so bumping it never falsely shares with the per-host vectors.
+  alignas(64) std::atomic<std::size_t> issued_{0};
   std::size_t total_ = 0;
 };
 

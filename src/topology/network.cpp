@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_map>
-#include <unordered_set>
+#include <string_view>
+#include <vector>
 
 #include "graph/algorithms.hpp"
 #include "util/error.hpp"
@@ -94,8 +94,14 @@ int Network::router_count() const {
 }
 
 int Network::as_count() const {
-  std::unordered_set<int> ids;
-  for (const Node& n : nodes_) ids.insert(n.as_id);
+  // Sort + unique instead of a hash set: same complexity class for this
+  // setup-time query, and massf-lint's unordered-container rule stays
+  // trivially satisfied (no hash-ordered state anywhere near topology).
+  std::vector<int> ids;
+  ids.reserve(nodes_.size());
+  for (const Node& n : nodes_) ids.push_back(n.as_id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   return static_cast<int>(ids.size());
 }
 
@@ -135,12 +141,16 @@ NodeId Network::find_node(const std::string& name) const {
 
 void validate_network(const Network& network) {
   MASSF_REQUIRE(network.node_count() > 0, "network has no nodes");
-  std::unordered_map<std::string, NodeId> names;
-  for (NodeId id = 0; id < network.node_count(); ++id) {
-    const auto [it, inserted] = names.emplace(network.node(id).name, id);
-    MASSF_REQUIRE(inserted, "duplicate node name '" << network.node(id).name
-                                                    << "'");
-  }
+  // Duplicate-name check via sorted views (node names are stable for the
+  // duration of the call), keeping validation free of hash-ordered state.
+  std::vector<std::string_view> names;
+  names.reserve(static_cast<std::size_t>(network.node_count()));
+  for (NodeId id = 0; id < network.node_count(); ++id)
+    names.push_back(network.node(id).name);
+  std::sort(names.begin(), names.end());
+  const auto dup = std::adjacent_find(names.begin(), names.end());
+  MASSF_REQUIRE(dup == names.end(),
+                "duplicate node name '" << *dup << "'");
   // Hosts should be stubs: exactly one access link keeps routing and the
   // emulator's host model simple. (Routers may have any degree.)
   for (NodeId id = 0; id < network.node_count(); ++id) {

@@ -2,13 +2,13 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace massf {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Info};
-std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,6 +21,20 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+/// Serializes writes to stderr. The stream itself is global, but every
+/// emitter goes through write(), so holding `m` across the whole insertion
+/// chain is what keeps concurrent log lines from interleaving mid-line.
+struct LogSink {
+  util::Mutex m;
+
+  void write(const char* level, const std::string& message) MASSF_EXCLUDES(m) {
+    util::MutexLock lock(m);
+    std::cerr << "[" << level << "] " << message << '\n';
+  }
+};
+
+LogSink g_sink;
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
@@ -28,8 +42,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+  g_sink.write(level_name(level), message);
 }
 
 }  // namespace massf

@@ -1,0 +1,97 @@
+// Clang Thread Safety Analysis annotations + annotated mutex wrappers.
+//
+// The kernel's headline guarantee — bit-identical history_hash across
+// sync modes × execution modes — is a *static* property of who may touch
+// what under which lock. These macros let Clang prove lock discipline at
+// compile time (-Wthread-safety, enabled by the MASSF_THREAD_SAFETY CMake
+// option); on GCC and other compilers they expand to nothing, so the
+// annotated tree builds identically everywhere.
+//
+// libstdc++'s std::mutex carries no capability attributes, so annotating
+// members with MASSF_GUARDED_BY(some_std_mutex) teaches Clang nothing.
+// massf code therefore locks through the annotated wrappers below:
+//
+//   util::Mutex m;                               // a capability
+//   std::vector<Event> box MASSF_GUARDED_BY(m);  // state it protects
+//   { util::MutexLock lock(m); box.push_back(e); }
+//
+// Any access to `box` outside a MutexLock scope (or a function marked
+// MASSF_REQUIRES(m)) is a compile error under Clang. DESIGN.md §9 maps the
+// kernel's capabilities.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MASSF_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MASSF_THREAD_ANNOTATION
+#define MASSF_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define MASSF_CAPABILITY(x) MASSF_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define MASSF_SCOPED_CAPABILITY MASSF_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member data that may only be touched while holding `x`.
+#define MASSF_GUARDED_BY(x) MASSF_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define MASSF_PT_GUARDED_BY(x) MASSF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that acquires / releases the capability itself.
+#define MASSF_ACQUIRE(...) \
+  MASSF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MASSF_RELEASE(...) \
+  MASSF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MASSF_TRY_ACQUIRE(...) \
+  MASSF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must be called with / without the capability held.
+#define MASSF_REQUIRES(...) \
+  MASSF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MASSF_EXCLUDES(...) \
+  MASSF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot model (e.g. quiescent-phase
+/// access proven by a barrier rather than a lock). Use sparingly; every
+/// use needs a comment stating the actual happens-before argument.
+#define MASSF_NO_THREAD_SAFETY_ANALYSIS \
+  MASSF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace massf::util {
+
+/// std::mutex with capability attributes Clang can reason about.
+class MASSF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MASSF_ACQUIRE() { m_.lock(); }
+  void unlock() MASSF_RELEASE() { m_.unlock(); }
+  bool try_lock() MASSF_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock over util::Mutex (std::lock_guard is invisible to the
+/// analysis on libstdc++, so massf code uses this instead).
+class MASSF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) MASSF_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() MASSF_RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+}  // namespace massf::util

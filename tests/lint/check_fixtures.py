@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Self-test for massf-lint, driven by ctest (label "lint").
+
+Every fixture under fixtures/ encodes its expectation in its name:
+
+    trip_<rule>.cpp   must produce >= 1 finding, all of exactly <rule>
+    allow_<rule>.cpp  must produce 0 findings (suppressions / sanctioned
+                      shapes for the same rule)
+
+Each fixture is linted with --only <rule> --no-dir-filter so the check is
+independent of where the fixture lives in the tree. The driver also fails
+if a rule in tools/massf_lint.py has no trip/allow fixture pair, so new
+rules can't land untested.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+ROOT = HERE.parents[1]
+LINT = ROOT / "tools" / "massf_lint.py"
+FIXTURES = HERE / "fixtures"
+
+
+def lint(rule: str, path: pathlib.Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINT), "--only", rule, "--no-dir-filter",
+         "--root", str(ROOT), str(path)],
+        capture_output=True, text=True, check=False)
+
+
+def main() -> int:
+    failures: list[str] = []
+    covered: dict[str, set[str]] = {}
+
+    fixture_files = sorted(FIXTURES.glob("*.cpp"))
+    if not fixture_files:
+        print(f"no fixtures found under {FIXTURES}", file=sys.stderr)
+        return 1
+
+    for path in fixture_files:
+        kind, _, rule_part = path.stem.partition("_")
+        rule = rule_part.replace("_", "-")
+        if kind not in ("trip", "allow"):
+            failures.append(f"{path.name}: fixture names must start with "
+                            f"trip_ or allow_")
+            continue
+        covered.setdefault(rule, set()).add(kind)
+        proc = lint(rule, path)
+        if kind == "trip":
+            if proc.returncode != 1:
+                failures.append(
+                    f"{path.name}: expected exit 1 with {rule} findings, "
+                    f"got exit {proc.returncode}\n{proc.stdout}{proc.stderr}")
+            elif f"[{rule}]" not in proc.stdout:
+                failures.append(
+                    f"{path.name}: exit 1 but no [{rule}] finding:\n"
+                    f"{proc.stdout}")
+        else:  # allow
+            if proc.returncode != 0:
+                failures.append(
+                    f"{path.name}: expected clean, got findings:\n"
+                    f"{proc.stdout}")
+
+    # Every rule the tool knows must have both fixture kinds.
+    listed = subprocess.run(
+        [sys.executable, str(LINT), "--list-rules"],
+        capture_output=True, text=True, check=True)
+    rules = {line.split()[0] for line in listed.stdout.splitlines()
+             if line and not line.startswith(" ")}
+    for rule in sorted(rules):
+        missing = {"trip", "allow"} - covered.get(rule, set())
+        if missing:
+            failures.append(f"rule '{rule}' has no {'/'.join(sorted(missing))} "
+                            f"fixture — add tests/lint/fixtures/"
+                            f"{{trip,allow}}_{rule.replace('-', '_')}.cpp")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    checked = len(fixture_files)
+    if failures:
+        print(f"{len(failures)} failure(s) across {checked} fixtures",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {checked} fixtures, {len(rules)} rules covered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -210,8 +210,11 @@ TEST(Mapper, ForegroundHeuristicIsEvenAllToAll) {
   // Every flow from the same source has equal volume = access_pps / 2.
   const double expected =
       fx.net.total_incident_bandwidth(hosts[0]) / 8.0 / 1500.0 / 2.0;
-  for (const auto& flow : flows)
-    if (flow.src == hosts[0]) EXPECT_NEAR(flow.volume, expected, 1e-9);
+  for (const auto& flow : flows) {
+    if (flow.src == hosts[0]) {
+      EXPECT_NEAR(flow.volume, expected, 1e-9);
+    }
+  }
 }
 
 TEST(Mapper, PlaceEstimateLoadsUsedRoutesOnly) {

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Run massf-lint over the real tree. Exit nonzero on any finding.
+#
+#   tools/run_lint.sh                 # whole tree
+#   tools/run_lint.sh src/des/*.cpp   # specific files
+#   tools/run_lint.sh --list-rules    # rule table
+#
+# Also reachable as `cmake --build build --target lint`. CI runs this on
+# every push; the ctest entry `massf_lint_tree` (label "lint") runs it too,
+# so a plain `ctest` catches violations before CI does.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHON="${PYTHON:-python3}"
+if ! command -v "$PYTHON" >/dev/null 2>&1; then
+  echo "massf-lint: python3 not found; skipping (install python3 to lint)" >&2
+  exit 0
+fi
+
+exec "$PYTHON" tools/massf_lint.py --root . "$@"
