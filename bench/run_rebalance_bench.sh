@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Record the adaptive-rebalance ablation to BENCH_rebalance.json.
+#
+#   BUILD_DIR=build-release OUT=BENCH_rebalance.json ./bench/run_rebalance_bench.sh
+#
+# Configures and builds a dedicated Release tree (never reuses a debug
+# build: the binary itself also refuses to run without NDEBUG), verifies
+# the cache really says Release, then runs bench_ablation_rebalance. The
+# binary exits non-zero unless the adaptive run migrated at least once and
+# reduced the modeled max/mean engine-load imbalance vs static PROFILE on
+# both the post-drift segment and the whole run.
+set -eu
+
+BUILD_DIR="${BUILD_DIR:-build-release}"
+OUT="${OUT:-BENCH_rebalance.json}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+if ! grep -q '^CMAKE_BUILD_TYPE:[A-Z]*=Release$' "$BUILD_DIR/CMakeCache.txt"; then
+  echo "error: $BUILD_DIR is not a Release build; refusing to record." >&2
+  echo "Use a fresh BUILD_DIR or reconfigure with -DCMAKE_BUILD_TYPE=Release." >&2
+  exit 1
+fi
+cmake --build "$BUILD_DIR" --target bench_ablation_rebalance -j >/dev/null
+
+exec "$BUILD_DIR/bench/bench_ablation_rebalance" "$OUT"

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "core/pipeline.hpp"
+#include "fault/fault.hpp"
 #include "topology/topologies.hpp"
 #include "traffic/http.hpp"
 #include "util/table.hpp"
@@ -33,7 +34,17 @@ int main() {
   auto workload = std::make_shared<traffic::CompositeWorkload>();
   workload->add(std::make_shared<traffic::HttpBackground>(network, http));
 
-  // 3. An experiment: emulate on 3 simulation engines with per-channel
+  // 3. A fault plan: one distribution link flaps mid-run, splitting the
+  //    emulation into routing epochs whose per-epoch stats show up in the
+  //    run summary (alongside the sync stats, whichever protocol runs).
+  fault::FaultPlan plan;
+  const topology::NodeId dist0 = network.find_node("dist0");
+  const topology::NodeId core0 = network.find_node("core0");
+  if (const auto trunk = network.find_link(dist0, core0))
+    plan.link_outage(*trunk, 40.0, 60.0);
+  const fault::FaultTimeline timeline(network, plan);
+
+  // 4. An experiment: emulate on 3 simulation engines with per-channel
   //    conservative synchronization (each engine pair advances on its own
   //    cut-link lookahead instead of a global window).
   mapping::ExperimentSetup setup;
@@ -42,9 +53,10 @@ int main() {
   setup.workload = workload;
   setup.engines = 3;
   setup.emulator.sync_mode = des::SyncMode::ChannelLookahead;
+  setup.faults = &timeline;
   mapping::Experiment experiment(std::move(setup));
 
-  // 4. Map with the static TOP approach and the profile-driven PROFILE
+  // 5. Map with the static TOP approach and the profile-driven PROFILE
   //    approach (PROFILE transparently runs a profiling emulation first),
   //    emulate each, and compare.
   Table table({"approach", "load imbalance", "emulation time (s)",

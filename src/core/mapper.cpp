@@ -8,6 +8,7 @@
 
 #include "core/weights.hpp"
 #include "emu/icmp.hpp"
+#include "partition/refine.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -19,6 +20,7 @@ const char* approach_name(Approach approach) {
     case Approach::Top: return "TOP";
     case Approach::Place: return "PLACE";
     case Approach::Profile: return "PROFILE";
+    case Approach::Adaptive: return "ADAPTIVE";
   }
   return "?";
 }
@@ -331,6 +333,53 @@ MappingResult Mapper::map_profile(
       best = std::move(candidate);
   }
   return best;
+}
+
+MappingResult Mapper::map_incremental(const partition::Assignment& current,
+                                      const std::vector<double>& node_load,
+                                      const std::vector<double>& link_load,
+                                      const MappingOptions& options) const {
+  MASSF_REQUIRE(options.engines >= 1, "need at least one engine");
+  MASSF_REQUIRE(current.size() ==
+                    static_cast<std::size_t>(network_.node_count()),
+                "current assignment does not match the network");
+  MASSF_REQUIRE(node_load.size() == current.size(),
+                "node_load does not match the network");
+  MASSF_REQUIRE(link_load.size() ==
+                    static_cast<std::size_t>(network_.link_count()),
+                "link_load does not match the network");
+
+  // Observed per-node load is the computation weight. A window that saw no
+  // traffic at all carries no balance signal — fall back to TOP's static
+  // bandwidth weights rather than refining against all-zero constraints.
+  const bool observed_any =
+      std::any_of(node_load.begin(), node_load.end(),
+                  [](double w) { return w > 0; });
+  const std::vector<double> compute =
+      observed_any ? node_load : bandwidth_weights(network_);
+
+  const partition::ObjectiveWeights objectives =
+      make_objectives(network_, structure_, link_load);
+  // Normalize each objective by the current assignment's own cut: mid-run
+  // there is no single-objective optimum to normalize by (computing one
+  // would cost a full partition), and the live cuts keep both objectives
+  // dimensionless relative to where refinement starts.
+  const double latency_cut = partition::edge_cut(
+      structure_.with_arc_weights(objectives.latency), current);
+  const double traffic_cut = partition::edge_cut(
+      structure_.with_arc_weights(objectives.traffic), current);
+  const std::vector<double> combined = partition::combine_objectives(
+      objectives, latency_cut, traffic_cut, options.latency_priority);
+
+  const graph::Graph g = build_mapping_graph(
+      network_, structure_, compute, {}, options.memory_priority, combined);
+  partition::PartitionOptions popts = options.partition;
+  popts.parts = options.engines;
+  popts.epsilon_per_constraint = constraint_epsilons(options, 0);
+  popts.seed = mix_seed(options.partition.seed, 0xADA7);
+
+  partition::PartitionResult result = partition::refine_from(g, current, popts);
+  return finish(Approach::Adaptive, std::move(result), options, &link_load, 0);
 }
 
 }  // namespace massf::mapping

@@ -25,7 +25,7 @@
 
 namespace massf::mapping {
 
-enum class Approach { Top, Place, Profile };
+enum class Approach { Top, Place, Profile, Adaptive };
 
 const char* approach_name(Approach approach);
 
@@ -109,6 +109,23 @@ class Mapper {
                             const std::vector<std::vector<double>>&
                                 engine_series,
                             const MappingOptions& options) const;
+
+  /// ADAPTIVE — incremental re-mapping from a *live* partition using
+  /// *observed* loads (packets per node / per link over the monitoring
+  /// window). Unlike map_top/map_place/map_profile this does not partition
+  /// from scratch: the current assignment seeds
+  /// partition::refine_from(), so migration volume stays proportional to
+  /// the load drift (Schloegel–Karypis adaptive repartitioning). Objectives
+  /// are the same latency/traffic combination, but normalized by the
+  /// current assignment's own cuts — mid-run there is no "single-objective
+  /// optimum" to normalize by. When every node load is zero (nothing
+  /// observed yet) the TOP bandwidth weights stand in so refinement still
+  /// has a balance signal. `current` must have one entry per network node,
+  /// `node_load` likewise, `link_load` one per link.
+  MappingResult map_incremental(const partition::Assignment& current,
+                                const std::vector<double>& node_load,
+                                const std::vector<double>& link_load,
+                                const MappingOptions& options) const;
 
   // -- building blocks (exposed for tests and ablations) -----------------
 

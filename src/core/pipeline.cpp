@@ -50,6 +50,31 @@ std::string summarize(const MappingResult& mapping,
   } else {
     out << ": " << metrics.windows << " windows";
   }
+  // Per-epoch fault stats are part of the same table regardless of the
+  // sync protocol: epochs are a property of the fault timeline, not of how
+  // engines synchronize (this used to be printed only by fault-specific
+  // examples, so ChannelLookahead runs silently lost it).
+  if (!metrics.epochs.empty()) {
+    out << "\nfaults    " << metrics.epochs.size() << " routing epochs";
+    for (std::size_t e = 0; e < metrics.epochs.size(); ++e) {
+      const emu::EpochStats& ep = metrics.epochs[e];
+      out << "\n  e" << e << " [" << ep.start << ", " << ep.end << ") "
+          << ep.links_down << " links / " << ep.nodes_down
+          << " nodes down: " << ep.trains_dropped_fault << " fault drops, "
+          << ep.trains_dropped_unreachable << " unreachable, "
+          << ep.retransmissions << " rtx, " << ep.reliable_recovered
+          << " recovered";
+      if (ep.reliable_recovered > 0)
+        out << " (max " << ep.max_recovery_s << " s)";
+    }
+  }
+  if (metrics.rebalance_safepoints > 0) {
+    out << "\nrebalance " << metrics.rebalance_safepoints << " safepoints, "
+        << metrics.rebalances << " migrations (" << metrics.nodes_migrated
+        << " nodes, " << metrics.migration_bytes << " bytes, "
+        << metrics.events_rehomed << " events rehomed), epoch "
+        << metrics.rebalance_epoch;
+  }
   out << "\nmetrics   imbalance " << metrics.load_imbalance
       << ", emulation time " << metrics.emulation_time
       << " s, network time " << metrics.network_time << " s, "
@@ -103,6 +128,12 @@ MappingResult Experiment::map(Approach approach) {
       return mapper_.map_profile(*profile_netflow_, profile_node_series_,
                                  setup_.mapping);
     }
+    case Approach::Adaptive:
+      MASSF_REQUIRE(false,
+                    "ADAPTIVE mappings are computed mid-run by "
+                    "rebalance::Controller (Mapper::map_incremental), not by "
+                    "Experiment::map(); start from a static approach and "
+                    "wire the controller via set_emulator_hook()");
   }
   MASSF_CHECK(false, "unknown approach");
 }
@@ -154,6 +185,13 @@ RunMetrics Experiment::collect(emu::Emulator& emulator) const {
   metrics.idle_jumps = ks.idle_jumps;
   metrics.idle_wait_per_engine = ks.idle_wait_per_lp;
   metrics.channels = ks.channels;
+  const emu::RebalanceStats& rb = emulator.rebalance_stats();
+  metrics.rebalance_safepoints = ks.safepoints;
+  metrics.rebalances = rb.rebalances;
+  metrics.nodes_migrated = rb.nodes_migrated;
+  metrics.migration_bytes = rb.migration_bytes;
+  metrics.events_rehomed = rb.events_rehomed;
+  metrics.rebalance_epoch = rb.epoch;
   return metrics;
 }
 
@@ -171,6 +209,7 @@ RunMetrics Experiment::run(const MappingResult& mapping,
     emulator.set_trace_recorder(recorder.get());
   }
   setup_.workload->install(emulator);
+  if (emulator_hook_) emulator_hook_(emulator, horizon_);
   emulator.run(horizon_, setup_.mode);
   if (record != nullptr) *record = recorder->finish();
   RunMetrics metrics = collect(emulator);
@@ -187,6 +226,7 @@ RunMetrics Experiment::replay(const emu::Trace& trace,
   emulator.set_fault_timeline(setup_.faults);
   emu::TraceReplayer replayer(trace);
   replayer.install(emulator);
+  if (emulator_hook_) emulator_hook_(emulator, horizon_);
   emulator.run(horizon_, setup_.mode);
   RunMetrics metrics = collect(emulator);
   metrics.pair_lookaheads = mapping.pair_lookaheads;

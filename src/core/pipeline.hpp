@@ -15,6 +15,7 @@
 //                                in isolation, Figures 9/10).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -84,6 +85,14 @@ struct RunMetrics {
   /// Per-engine-pair minimum cut-link latency from the mapping (objective
   /// 1 made observable; the channel lookaheads the emulator registers).
   std::vector<EnginePairLookahead> pair_lookaheads;
+  /// Rebalance-loop counters (all zero unless a rebalance::Controller —
+  /// or other safepoint user — was wired in via set_emulator_hook()).
+  std::uint64_t rebalance_safepoints = 0;
+  std::uint64_t rebalances = 0;
+  std::uint64_t nodes_migrated = 0;
+  double migration_bytes = 0;
+  std::uint64_t events_rehomed = 0;
+  std::uint64_t rebalance_epoch = 0;
 
   /// Load imbalance per time bucket (Figure 8's series).
   std::vector<double> imbalance_series() const;
@@ -120,6 +129,18 @@ class Experiment {
     return profiling_metrics_;
   }
 
+  /// Hook invoked on every emulator built by run() or replay() — after the
+  /// workload is installed, before execution — with the run's horizon.
+  /// This is how rebalance::Controller::install wires the adaptive loop
+  /// into the pipeline without the pipeline depending on the rebalance
+  /// library (which itself links the mapper). The PROFILE profiling run is
+  /// deliberately not hooked: its NetFlow cache must describe the *static*
+  /// initial partition.
+  using EmulatorHook = std::function<void(emu::Emulator&, double)>;
+  void set_emulator_hook(EmulatorHook hook) {
+    emulator_hook_ = std::move(hook);
+  }
+
  private:
   RunMetrics collect(emu::Emulator& emulator) const;
   void ensure_profile();
@@ -127,6 +148,7 @@ class Experiment {
   ExperimentSetup setup_;
   Mapper mapper_;
   double horizon_;
+  EmulatorHook emulator_hook_;
   // Cached profiling-run artifacts (populated by the first map(Profile)).
   std::optional<RunMetrics> profiling_metrics_;
   std::vector<double> profile_link_packets_;

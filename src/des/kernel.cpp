@@ -254,8 +254,13 @@ struct Kernel::Impl {
     return ch;
   }
 
+  /// (Re)build the per-LP inbound channel lists. Rebuilds strictly in
+  /// place: a mid-run safepoint can register new channels while parked
+  /// worker threads hold references to the inner vectors, so the outer
+  /// vector must never reallocate after the first call.
   void build_inbound() {
-    inbound.assign(lps.size(), {});
+    if (inbound.size() != lps.size()) inbound.resize(lps.size());
+    for (auto& list : inbound) list.clear();
     for (std::uint32_t c = 0; c < channels.size(); ++c)
       inbound[channels[c]->dst].push_back(c);
     for (auto& list : inbound)
@@ -398,6 +403,36 @@ struct Kernel::Impl {
     ch.delivered += receiver.scratch.size();
     merge_batch(receiver, receiver.scratch, per_remote_cost);
   }
+
+  /// Safepoint normalization for ChannelLookahead: force-drain every
+  /// mailbox into its receiver's queue (whether or not has_mail is set) so
+  /// the hook — and rehome_events — sees the complete pending-event set in
+  /// LP queues. A mailbox can legitimately be non-empty at quiescence in
+  /// both renditions (the receiver stalls on its bound without polling a
+  /// mailbox it cannot use yet); draining all of them in channel index
+  /// order charges the per-message receive cost exactly once and
+  /// identically in Sequential and Threaded mode. Runs single-threaded
+  /// with every worker parked. Receive costs are folded straight into
+  /// busy_total, which both renditions keep folded at their quiescent
+  /// points (window_busy is 0 on entry).
+  void drain_all_channels(double per_remote_cost) {
+    for (auto& chp : channels) {
+      Channel& ch = *chp;
+      Lp& receiver = lps[ch.dst];
+      receiver.scratch.clear();
+      {
+        util::MutexLock lock(ch.m);
+        ch.mailbox.swap(receiver.scratch);
+      }
+      ch.has_mail.store(false, std::memory_order_relaxed);
+      ch.delivered += receiver.scratch.size();
+      merge_batch(receiver, receiver.scratch, per_remote_cost);
+    }
+    for (Lp& lp : lps) {
+      lp.busy_total += lp.window_busy;
+      lp.window_busy = 0;
+    }
+  }
 };
 
 Kernel::Kernel(int lp_count, double lookahead, CostModel cost)
@@ -433,7 +468,9 @@ void Kernel::set_sync_mode(SyncMode mode) {
 }
 
 void Kernel::set_channel_lookahead(int src, int dst, double la) {
-  MASSF_REQUIRE(!ran_, "register channel lookaheads before running");
+  MASSF_REQUIRE(!ran_ || in_safepoint_,
+                "register channel lookaheads before running or from inside "
+                "a safepoint hook");
   MASSF_REQUIRE(src >= 0 && src < lp_count_ && dst >= 0 && dst < lp_count_,
                 "channel LP index out of range");
   MASSF_REQUIRE(src != dst, "a channel must connect two distinct LPs");
@@ -443,6 +480,10 @@ void Kernel::set_channel_lookahead(int src, int dst, double la) {
                     << lookahead_
                     << " (the global value is the min over all engine pairs)");
   impl_->ensure_channel(src, dst, la);
+  // Mid-run registration (parked safepoint): keep the receivers' inbound
+  // bound lists current. build_inbound rebuilds in place, so references the
+  // parked workers hold stay valid; they re-read sizes after resuming.
+  if (ran_) impl_->build_inbound();
 }
 
 double Kernel::channel_lookahead(int src, int dst) const {
@@ -501,13 +542,16 @@ void check_remote_target(int to_lp, int lp_count, SimTime t,
 
 }  // namespace
 
-void Kernel::schedule(int lp, SimTime t, Callback fn) {
+void Kernel::schedule(int lp, SimTime t, Callback fn, std::int32_t key) {
   check_local_target(lp, lp_count_, t);
   MASSF_REQUIRE(fn, "event callback must be callable");
   Impl::Lp& state = impl_->lps[static_cast<std::size_t>(lp)];
   // Event callback box: single terminal owner (execute_event / ~Impl).
+  // Callback events carry the rehome key in the otherwise-unused
+  // PacketEvent::node slot — the 48-byte layout is load-bearing (memcpy
+  // heap sifts), so no new field.
   state.queue.push({t, static_cast<std::uint32_t>(lp), state.seq_counter++,
-                    PacketEvent{},
+                    PacketEvent{nullptr, key},
                     new Callback(std::move(fn))});  // massf-lint: allow(raw-new)
 }
 
@@ -520,7 +564,8 @@ void Kernel::schedule_packet(int lp, SimTime t, PacketEvent event) {
                     event, nullptr});
 }
 
-void Kernel::schedule_remote(int to_lp, SimTime t, Callback fn) {
+void Kernel::schedule_remote(int to_lp, SimTime t, Callback fn,
+                             std::int32_t key) {
   check_remote_target(to_lp, lp_count_, t, remote_lookahead(to_lp));
   MASSF_REQUIRE(fn, "event callback must be callable");
   Impl::Lp& sender = impl_->lps[static_cast<std::size_t>(tl_current_lp)];
@@ -529,7 +574,7 @@ void Kernel::schedule_remote(int to_lp, SimTime t, Callback fn) {
     sender.dirty_dsts.push_back(static_cast<std::uint32_t>(to_lp));
   // Event callback box: single terminal owner (execute_event / ~Impl).
   box.push_back({t, static_cast<std::uint32_t>(tl_current_lp),
-                 sender.seq_counter++, PacketEvent{},
+                 sender.seq_counter++, PacketEvent{nullptr, key},
                  new Callback(std::move(fn))});  // massf-lint: allow(raw-new)
   sender.window_busy += cost_.per_remote_message;
   ++sender.remote_sent;
@@ -549,6 +594,110 @@ void Kernel::schedule_packet_remote(int to_lp, SimTime t, PacketEvent event) {
   ++sender.remote_sent;
 }
 
+// ---- Safepoints -----------------------------------------------------------
+
+void Kernel::add_safepoint(SimTime t) {
+  MASSF_REQUIRE(!ran_, "add safepoints before running");
+  MASSF_REQUIRE(std::isfinite(t) && t > 0,
+                "safepoint time must be positive and finite");
+  safepoints_.push_back(t);
+}
+
+void Kernel::set_safepoint_hook(SafepointHook hook) {
+  MASSF_REQUIRE(!ran_, "set the safepoint hook before running");
+  safepoint_hook_ = std::move(hook);
+}
+
+SimTime Kernel::next_safepoint() const {
+  return next_sp_ < safepoints_.size() ? safepoints_[next_sp_] : never();
+}
+
+void Kernel::run_safepoint_hook(SimTime sp) {
+  ++stats_.safepoints;
+  if (!safepoint_hook_) return;
+  // The hook runs outside any event: current_lp() is -1, now() reports the
+  // safepoint time. in_safepoint_ gates the migration mutators.
+  in_safepoint_ = true;
+  tl_now = sp;
+  try {
+    safepoint_hook_(sp);
+  } catch (...) {
+    in_safepoint_ = false;
+    tl_now = 0;
+    throw;
+  }
+  in_safepoint_ = false;
+  tl_now = 0;
+}
+
+void Kernel::fire_global_safepoint(SimTime sp) {
+  run_safepoint_hook(sp);
+  // One cluster-wide rendezvous per safepoint, charged identically in the
+  // Sequential and Threaded renditions (test_faults pins GlobalWindow
+  // modeled_time to near-equality across execution modes). Channel-mode
+  // runs charge theirs inside finalize_channel_run instead.
+  stats_.modeled_time += cost_.per_window_sync;
+  stats_.coupled_time += cost_.per_window_sync;
+  ++next_sp_;
+}
+
+std::uint64_t Kernel::rehome_events(
+    const std::function<int(std::int32_t)>& target_of) {
+  MASSF_REQUIRE(in_safepoint_,
+                "rehome_events may only be called from a safepoint hook");
+  MASSF_REQUIRE(target_of, "rehome target function must be callable");
+  auto& lps = impl_->lps;
+  // Extract every keyed event whose target LP differs from its current
+  // home. The moved set is determined purely by keys and the pending-event
+  // set — identical across renditions at a safepoint — and push() restores
+  // the (t, origin, seq) order at the destination, so per-LP pop order
+  // (and with it history_hash) is unaffected by the traversal order here.
+  std::vector<std::pair<int, Impl::Event>> moved;
+  for (std::size_t i = 0; i < lps.size(); ++i) {
+    Impl::EventHeap& queue = lps[i].queue;
+    auto keep = queue.v.begin();
+    for (Impl::Event& e : queue.v) {
+      const std::int32_t key = e.packet.node;
+      int target = static_cast<int>(i);
+      if (key >= 0) {
+        target = target_of(key);
+        MASSF_REQUIRE(target >= 0 && target < lp_count_,
+                      "rehome target LP " << target << " for key " << key
+                                          << " out of range");
+      }
+      if (target == static_cast<int>(i))
+        *keep++ = e;
+      else
+        moved.emplace_back(target, e);
+    }
+    if (keep != queue.v.end()) {
+      queue.v.erase(keep, queue.v.end());
+      // Removal keeps sorted mode sorted; heap mode must re-heapify.
+      if (!queue.sorted)
+        std::make_heap(queue.v.begin(), queue.v.end(), Impl::EventLater{});
+    }
+  }
+  for (auto& [target, e] : moved)
+    lps[static_cast<std::size_t>(target)].queue.push(e);
+  stats_.events_rehomed += moved.size();
+  return static_cast<std::uint64_t>(moved.size());
+}
+
+void Kernel::lower_global_lookahead(double la) {
+  MASSF_REQUIRE(in_safepoint_,
+                "lower_global_lookahead may only be called from a "
+                "safepoint hook");
+  MASSF_REQUIRE(std::isfinite(la) && la > 0 && la <= lookahead_,
+                "the global lookahead may only be lowered mid-run (got "
+                    << la << ", current " << lookahead_ << ")");
+  lookahead_ = la;
+}
+
+std::uint64_t Kernel::events_executed(int lp) const {
+  MASSF_REQUIRE(lp >= 0 && lp < lp_count_, "LP index out of range");
+  return impl_->lps[static_cast<std::size_t>(lp)].events;
+}
+
 void Kernel::run_until(SimTime end_time, ExecutionMode mode) {
   MASSF_REQUIRE(!ran_, "run_until may only be called once");
   MASSF_REQUIRE(end_time > 0, "end time must be positive");
@@ -556,6 +705,12 @@ void Kernel::run_until(SimTime end_time, ExecutionMode mode) {
   ran_ = true;
   stats_.sync_mode = sync_mode_;
   stats_.idle_wait_per_lp.assign(static_cast<std::size_t>(lp_count_), 0.0);
+
+  // Canonical safepoint schedule: ascending, duplicates coalesced (two
+  // registrations at the same time are one quiescent pause).
+  std::sort(safepoints_.begin(), safepoints_.end());
+  safepoints_.erase(std::unique(safepoints_.begin(), safepoints_.end()),
+                    safepoints_.end());
 
   // Pre-reserve the load series from the run horizon (capped) so the
   // per-event bucket append never reallocates mid-run.
@@ -614,15 +769,28 @@ void Kernel::run_sequential(SimTime end_time) {
   const auto k = static_cast<std::size_t>(lp_count_);
   const double inv_bucket = 1.0 / stats_.bucket_width;
 
+  auto earliest_pending = [&]() {
+    SimTime m = never();
+    for (auto& lp : lps)
+      if (!lp.queue.empty()) m = std::min(m, lp.queue.top().t);
+    return m;
+  };
+
   while (true) {
     // Publish phase: earliest pending event across all LPs.
-    SimTime global_min = never();
-    for (auto& lp : lps)
-      if (!lp.queue.empty())
-        global_min = std::min(global_min, lp.queue.top().t);
+    SimTime global_min = earliest_pending();
+    // Fire every safepoint the run has fully caught up to: all events
+    // before it executed, outboxes drained (end of the previous loop
+    // iteration) — the globally quiescent state the hook contract promises.
+    while (next_safepoint() < end_time && global_min >= next_safepoint()) {
+      fire_global_safepoint(next_safepoint());
+      global_min = earliest_pending();
+    }
     if (global_min >= end_time || global_min == never()) break;
 
-    const SimTime window_end = std::min(global_min + lookahead_, end_time);
+    // Windows never cross a pending safepoint.
+    const SimTime window_end =
+        std::min({global_min + lookahead_, end_time, next_safepoint()});
 
     // Process phase.
     for (std::size_t i = 0; i < k; ++i) {
@@ -675,15 +843,38 @@ void Kernel::run_threaded(SimTime end_time) {
   SimTime window_end = 0;
   FailureBox failure;
 
-  // Barrier A (after publish/drain): pick the next window or stop.
+  // Barrier A (after publish/drain): pick the next window or stop. Runs
+  // single-threaded as the barrier completion with every worker parked —
+  // exactly the quiescent state the safepoint hook requires, so due
+  // safepoints fire here, mirroring the sequential loop top. The completion
+  // is noexcept; a throwing hook is routed through the FailureBox like any
+  // worker exception.
   auto decide = [&]() noexcept {
-    SimTime global_min = never();
-    for (auto& lp : lps) global_min = std::min(global_min, lp.published_next);
+    auto recompute = [&]() {
+      SimTime m = never();
+      for (auto& lp : lps) m = std::min(m, lp.published_next);
+      return m;
+    };
+    SimTime global_min = recompute();
+    try {
+      while (next_safepoint() < end_time && global_min >= next_safepoint() &&
+             !failure.failed.load(std::memory_order_relaxed)) {
+        fire_global_safepoint(next_safepoint());
+        // The hook may have rehomed events between queues: republish every
+        // LP's head before re-deciding.
+        for (auto& lp : lps)
+          lp.published_next = lp.queue.empty() ? never() : lp.queue.top().t;
+        global_min = recompute();
+      }
+    } catch (...) {
+      failure.record(std::current_exception());
+    }
     if (global_min >= end_time || global_min == never() ||
         failure.failed.load(std::memory_order_relaxed))
       stop.store(true, std::memory_order_relaxed);
     else
-      window_end = std::min(global_min + lookahead_, end_time);
+      window_end =
+          std::min({global_min + lookahead_, end_time, next_safepoint()});
   };
   // Barrier B (after processing): account the finished window and route
   // dirty sender/destination pairs for the drain that follows.
@@ -808,7 +999,9 @@ void Kernel::run_channel_sequential(SimTime end_time) {
           limiter = &ch;
         }
       }
-      const SimTime limit = std::min(bound, end_time);
+      // Execution never crosses a pending safepoint (the clip, not the
+      // bound: throttle attribution below stays a per-channel property).
+      const SimTime limit = std::min({bound, end_time, next_safepoint()});
       bool executed = false;
       tl_current_lp = static_cast<int>(i);
       try {
@@ -844,8 +1037,23 @@ void Kernel::run_channel_sequential(SimTime end_time) {
       clock[i] = std::max(clock[i], std::min(next, bound));
     }
     if (!any_executed) {
-      // A full round executed nothing anywhere: rendezvous.
-      const SimTime gvt = global_next();
+      // A full round executed nothing anywhere: rendezvous. Safepoints the
+      // run has caught up to (gvt >= sp means every event before sp has
+      // executed — nothing anywhere executes at or past a pending
+      // safepoint) fire here, after force-draining the mailboxes so the
+      // hook sees the full pending set in LP queues. Clocks then restart
+      // from the safepoint time: migration may have handed an LP events
+      // earlier than its published clock, and sp is a valid promise for
+      // every LP because nothing pending precedes sp.
+      SimTime gvt = global_next();
+      while (next_safepoint() < end_time && gvt >= next_safepoint()) {
+        const SimTime sp = next_safepoint();
+        impl_->drain_all_channels(cost_.per_remote_message);
+        run_safepoint_hook(sp);
+        ++next_sp_;
+        for (std::size_t i = 0; i < k; ++i) clock[i] = sp;
+        gvt = global_next();
+      }
       if (gvt >= end_time || gvt == never()) break;
       for (std::size_t i = 0; i < k; ++i) clock[i] = std::max(clock[i], gvt);
       ++stats_.idle_jumps;
@@ -882,14 +1090,40 @@ void Kernel::run_channel_threaded(SimTime end_time) {
       stop.store(true, std::memory_order_relaxed);
       return;
     }
-    SimTime gvt = never();
-    for (auto& lp : lps)
-      if (!lp.queue.empty()) gvt = std::min(gvt, lp.queue.top().t);
-    for (auto& ch : channels) {
-      // Every worker is parked in this barrier, so the mailboxes are
-      // quiescent; the lock is uncontended and keeps the discipline honest.
-      util::MutexLock lock(ch->m);
-      for (const Impl::Event& e : ch->mailbox) gvt = std::min(gvt, e.t);
+    auto global_next = [&]() {
+      SimTime m = never();
+      for (auto& lp : lps)
+        if (!lp.queue.empty()) m = std::min(m, lp.queue.top().t);
+      for (auto& ch : channels) {
+        // Every worker is parked in this barrier, so the mailboxes are
+        // quiescent; the lock is uncontended and keeps the discipline
+        // honest.
+        util::MutexLock lock(ch->m);
+        for (const Impl::Event& e : ch->mailbox) m = std::min(m, e.t);
+      }
+      return m;
+    };
+    SimTime gvt = global_next();
+    // Safepoints fire here exactly as in the sequential rendezvous branch:
+    // with every worker parked, gvt >= sp certifies that all pre-safepoint
+    // events have executed (execution is clipped at sp), mailboxes are
+    // force-drained in the same channel order, and clocks restart from sp.
+    // The completion is noexcept; a throwing hook becomes a recorded
+    // failure and a stop, like any worker exception.
+    try {
+      while (next_safepoint() < end_time && gvt >= next_safepoint()) {
+        const SimTime sp = next_safepoint();
+        impl_->drain_all_channels(cost_.per_remote_message);
+        run_safepoint_hook(sp);
+        ++next_sp_;
+        for (std::size_t i = 0; i < k; ++i)
+          clocks[i].v.store(sp, std::memory_order_relaxed);
+        gvt = global_next();
+      }
+    } catch (...) {
+      failure.record(std::current_exception());
+      stop.store(true, std::memory_order_relaxed);
+      return;
     }
     if (gvt >= end_time || gvt == never()) {
       stop.store(true, std::memory_order_relaxed);
@@ -924,7 +1158,9 @@ void Kernel::run_channel_threaded(SimTime end_time) {
             limiter = &ch;
           }
         }
-        const SimTime limit = std::min(bound, end_time);
+        // next_safepoint() is only mutated inside the rendezvous completion
+        // while this thread is parked in the same barrier — safe to read.
+        const SimTime limit = std::min({bound, end_time, next_safepoint()});
         bool executed = false;
         tl_current_lp = static_cast<int>(i);
         Impl::process_window(lp, limit, [&](Impl::Event& e) {
@@ -951,7 +1187,10 @@ void Kernel::run_channel_threaded(SimTime end_time) {
 
         // Stall: nothing safely executable. Spin (yielding) until an
         // inbound clock moves or mail arrives; if all k LPs end up parked,
-        // the rendezvous barrier resolves the global state.
+        // the rendezvous barrier resolves the global state. A safepoint may
+        // have registered new inbound channels since the last stall, so the
+        // snapshot buffer is re-sized to the live list each time.
+        snapshot.resize(in.size());
         for (std::size_t c = 0; c < in.size(); ++c)
           snapshot[c] =
               clocks[channels[in[c]]->src].v.load(std::memory_order_relaxed);
@@ -1020,9 +1259,12 @@ void Kernel::finalize_channel_run(SimTime end_time) {
     max_busy = std::max(max_busy, lp.busy_total);
     reached = std::max(reached, lp.max_time);
   }
+  // Safepoints are rendezvous too (global quiescent pauses), so each one
+  // contributes the same per_window_sync an idle-jump does.
   stats_.modeled_time =
-      max_busy +
-      static_cast<double>(stats_.idle_jumps + 1) * cost_.per_window_sync;
+      max_busy + static_cast<double>(stats_.idle_jumps + stats_.safepoints +
+                                     1) *
+                     cost_.per_window_sync;
   const SimTime span = std::min(reached, end_time);
   stats_.coupled_time = std::max(stats_.modeled_time, span);
   sim_position_ = span;

@@ -180,6 +180,12 @@ struct KernelStats {
   /// executed (time, origin, seq) stream, XORed across LPs; identical
   /// between Sequential and Threaded runs.
   std::uint64_t history_hash = 0;
+  /// Safepoints fired (add_safepoint): global quiescent pauses at which the
+  /// safepoint hook ran (rebalance decisions, live migration).
+  std::uint64_t safepoints = 0;
+  /// Pending events moved between LPs by rehome_events across all
+  /// safepoints (live migration traffic, in events).
+  std::uint64_t events_rehomed = 0;
 
   /// Per-LP event rates as doubles (for stats::normalized_imbalance).
   std::vector<double> loads() const;
@@ -223,8 +229,12 @@ class Kernel {
   ///     tightens GlobalWindow-mode validation — safe, since per-pair
   ///     lookaheads are >= the global minimum by construction).
   ///
-  /// Registering the same pair again overwrites its lookahead. Must be
-  /// called before run_until.
+  /// Registering the same pair again overwrites its lookahead. Callable
+  /// before run_until, or from inside a safepoint hook (live migration can
+  /// create new cut pairs mid-run; raising an existing channel's lookahead
+  /// at a safepoint is safe because every pre-safepoint event has already
+  /// been drained and rehomed, and post-safepoint sends obey the new
+  /// mapping's latencies).
   void set_channel_lookahead(int src, int dst, double la);
 
   /// Lookahead of the directed channel src → dst: the registered value; the
@@ -237,12 +247,20 @@ class Kernel {
   /// Before run_until(): any LP may be targeted (initial event population).
   /// During execution: only the currently executing LP may be targeted
   /// (same-engine hop); use schedule_remote for other LPs.
-  void schedule(int lp, SimTime t, Callback fn);
+  ///
+  /// `key` is the event's rehome key (see rehome_events): callers that want
+  /// the event to follow a migratable entity (the emulator passes the
+  /// owning virtual-node id) set it; the default -1 pins the event to the
+  /// LP it was scheduled on. Packet events are keyed implicitly by
+  /// PacketEvent::node.
+  void schedule(int lp, SimTime t, Callback fn, std::int32_t key = -1);
 
   /// Schedule onto another LP from inside an executing event. Requires
   /// t >= now() + lookahead() (conservative safety; the emulator satisfies
   /// this because cross-partition link latencies are >= lookahead).
-  void schedule_remote(int to_lp, SimTime t, Callback fn);
+  /// `key`: rehome key, as in schedule().
+  void schedule_remote(int to_lp, SimTime t, Callback fn,
+                       std::int32_t key = -1);
 
   /// Register the sink that receives packet events. Required before any
   /// schedule_packet/schedule_packet_remote call; the sink is not owned.
@@ -263,6 +281,54 @@ class Kernel {
   /// Timestamp of the event currently executing on this thread (0 outside
   /// event execution).
   SimTime now() const;
+
+  // ---- Safepoints (live rebalancing) ------------------------------------
+  //
+  // A safepoint is a globally quiescent pause at simulation time `sp`:
+  // every runner (both SyncModes × both ExecutionModes) clips event
+  // execution strictly below the next pending safepoint, and once every
+  // event with t < sp has executed — and, under ChannelLookahead, every
+  // in-flight mailbox has been force-drained into its receiver's queue —
+  // the hook runs single-threaded with all workers parked. Inside the hook
+  // (and only there) the kernel permits rehome_events,
+  // lower_global_lookahead, and mid-run set_channel_lookahead: together
+  // they implement live LP-state migration. Because the pre-safepoint
+  // history is complete, the moved event set is key-determined, and the
+  // per-LP pop order depends only on the event set, history_hash stays
+  // bit-identical across all four sync × exec combinations for a fixed
+  // safepoint schedule. Each safepoint is charged one cost.per_window_sync
+  // of modeled time (a cluster-wide rendezvous).
+
+  /// Register a safepoint at simulation time t (> 0). Call before
+  /// run_until; duplicates are coalesced. Safepoints at or past end_time
+  /// never fire.
+  void add_safepoint(SimTime t);
+
+  /// Invoked at each safepoint with the safepoint time, after global
+  /// quiescence. At most one hook; set before run_until.
+  using SafepointHook = std::function<void(SimTime)>;
+  void set_safepoint_hook(SafepointHook hook);
+
+  /// True while a safepoint hook is executing (gates the mutators below).
+  bool in_safepoint() const { return in_safepoint_; }
+
+  /// Move every pending keyed event to the LP `target_of(key)` (keys are
+  /// PacketEvent::node for packet events, the schedule() key otherwise;
+  /// key -1 events are pinned and never move). target_of must return a
+  /// valid LP index for every key it is shown. Returns the number of events
+  /// moved. Hook-only.
+  std::uint64_t rehome_events(const std::function<int(std::int32_t)>& target_of);
+
+  /// Lower the global lookahead to `la` (0 < la <= current). Migration can
+  /// create cut pairs with smaller latency than any pre-run pair; the
+  /// global bound may only shrink, never grow, so conservative safety is
+  /// preserved. Hook-only.
+  void lower_global_lookahead(double la);
+
+  /// Events executed so far by one LP. Stable only while the kernel is not
+  /// executing events (from a safepoint hook, or after run_until returns) —
+  /// the load monitor samples it at safepoints.
+  std::uint64_t events_executed(int lp) const;
 
   /// Execute until no events remain with time < end_time. May be called
   /// once.
@@ -285,6 +351,14 @@ class Kernel {
   void finalize_channel_run(SimTime end_time);
   double remote_lookahead(int to_lp) const;
 
+  /// Next pending safepoint time, or never() when the schedule is spent.
+  SimTime next_safepoint() const;
+  /// Run the hook (if any) with the in_safepoint gate raised; counts the
+  /// safepoint. Shared by all four runners.
+  void run_safepoint_hook(SimTime sp);
+  /// GlobalWindow firing: hook + per-safepoint sync charge + advance.
+  void fire_global_safepoint(SimTime sp);
+
   int lp_count_;
   double lookahead_;
   CostModel cost_;
@@ -292,7 +366,11 @@ class Kernel {
   KernelStats stats_;
   SimTime sim_position_ = 0;  // sim time already charged to coupled_time
   bool ran_ = false;
+  bool in_safepoint_ = false;
   SyncMode sync_mode_ = SyncMode::GlobalWindow;
+  std::vector<SimTime> safepoints_;  // sorted + deduped at run_until
+  std::size_t next_sp_ = 0;          // index of the next unfired safepoint
+  SafepointHook safepoint_hook_;
   std::unique_ptr<Impl> impl_;
 };
 

@@ -143,11 +143,12 @@ void Emulator::install_endpoint(NodeId host,
   kernel_->schedule(engine_of(host), start_at, [this, host, raw] {
     AppApi api(*this, host);
     raw->start(api);
-  });
+  }, /*key=*/host);
 }
 
 void Emulator::schedule_on_host(NodeId host, SimTime t, des::Callback fn) {
-  kernel_->schedule(engine_of(host), t, std::move(fn));
+  // Keyed by host so a pending callback follows the host if it migrates.
+  kernel_->schedule(engine_of(host), t, std::move(fn), /*key=*/host);
 }
 
 void Emulator::inject_trains(NodeId src, NodeId dst, double bytes, int tag,
@@ -233,7 +234,8 @@ std::uint64_t Emulator::send_reliable(NodeId src, NodeId dst, double bytes,
   kernel_->schedule(engine_of(src), at + config_.reliable.base_timeout_s,
                     [this, src, message_id] {
                       reliable_timeout(src, message_id);
-                    });
+                    },
+                    /*key=*/src);
   return message_id;
 }
 
@@ -257,7 +259,7 @@ void Emulator::reliable_timeout(NodeId src, std::uint64_t message_id) {
                          std::pow(config_.reliable.backoff, p.attempts - 1);
   kernel_->schedule(engine_of(src), now + timeout, [this, src, message_id] {
     reliable_timeout(src, message_id);
-  });
+  }, /*key=*/src);
 }
 
 void Emulator::set_fault_timeline(const fault::FaultTimeline* timeline) {
@@ -527,6 +529,99 @@ void Emulator::deliver(NodeId at, const Packet& packet, SimTime t) {
       if (icmp_handler_) icmp_handler_(packet, t);
       break;
   }
+}
+
+void Emulator::add_rebalance_safepoint(SimTime t) {
+  MASSF_REQUIRE(!ran_, "add rebalance safepoints before run()");
+  kernel_->add_safepoint(t);
+}
+
+void Emulator::set_rebalance_hook(std::function<void(SimTime)> hook) {
+  MASSF_REQUIRE(!ran_, "set the rebalance hook before run()");
+  kernel_->set_safepoint_hook(std::move(hook));
+}
+
+double Emulator::serialize_host_state(NodeId node) const {
+  MASSF_REQUIRE(node >= 0 && node < network_.node_count(),
+                "node out of range");
+  const HostState& s = host_state_[static_cast<std::size_t>(node)];
+  // Modeled serialization: fixed LP header + counters, the endpoint's
+  // opaque state, one record per pending reliable message (key, dst,
+  // bytes, tag, timestamps, attempts) and one key per receiver dedup
+  // entry.
+  double bytes = 128.0;
+  if (s.endpoint != nullptr) bytes += 256.0;
+  bytes += 48.0 * static_cast<double>(s.pending.size());
+  bytes += 8.0 * static_cast<double>(s.reliable_seen.size());
+  return bytes;
+}
+
+double Emulator::estimate_migration_bytes(
+    const std::vector<int>& new_node_engine) const {
+  MASSF_REQUIRE(new_node_engine.size() == node_engine_.size(),
+                "new assignment must cover every node");
+  double bytes = 0;
+  for (NodeId n = 0; n < network_.node_count(); ++n)
+    if (new_node_engine[static_cast<std::size_t>(n)] !=
+        node_engine_[static_cast<std::size_t>(n)])
+      bytes += serialize_host_state(n);
+  return bytes;
+}
+
+std::vector<double> Emulator::engine_event_counts() const {
+  std::vector<double> out(static_cast<std::size_t>(engines_), 0.0);
+  for (int lp = 0; lp < engines_; ++lp)
+    out[static_cast<std::size_t>(lp)] =
+        static_cast<double>(kernel_->events_executed(lp));
+  return out;
+}
+
+int Emulator::migrate_nodes(const std::vector<int>& new_node_engine) {
+  MASSF_REQUIRE(kernel_->in_safepoint(),
+                "migrate_nodes may only run inside a rebalance safepoint");
+  MASSF_REQUIRE(new_node_engine.size() == node_engine_.size(),
+                "new assignment must cover every node");
+  for (int e : new_node_engine)
+    MASSF_REQUIRE(e >= 0 && e < engines_, "engine id out of range");
+
+  int moved = 0;
+  double bytes = 0;
+  for (NodeId n = 0; n < network_.node_count(); ++n) {
+    if (new_node_engine[static_cast<std::size_t>(n)] ==
+        node_engine_[static_cast<std::size_t>(n)])
+      continue;
+    ++moved;
+    bytes += serialize_host_state(n);
+  }
+  if (moved == 0) return 0;  // identical assignment: guaranteed no-op
+
+  node_engine_ = new_node_engine;
+
+  // The new cut may contain a lower-latency link than the old one; the
+  // global conservative bound must shrink *before* per-pair channels are
+  // re-registered (a channel may never promise less than the global
+  // bound). It must never grow mid-run — events already in flight were
+  // promised under the old bound. Channels for pairs no longer joined by a
+  // cut link stay registered at their old lookahead: stale coupling is
+  // merely conservative.
+  const double new_lookahead = compute_lookahead();
+  if (new_lookahead < lookahead_) {
+    kernel_->lower_global_lookahead(new_lookahead);
+    lookahead_ = new_lookahead;
+  }
+  register_channel_lookaheads();
+
+  const std::uint64_t rehomed =
+      kernel_->rehome_events([this](std::int32_t key) {
+        return node_engine_[static_cast<std::size_t>(key)];
+      });
+
+  ++rebalance_stats_.rebalances;
+  ++rebalance_stats_.epoch;
+  rebalance_stats_.nodes_migrated += static_cast<std::uint64_t>(moved);
+  rebalance_stats_.migration_bytes += bytes;
+  rebalance_stats_.events_rehomed += rehomed;
+  return moved;
 }
 
 void Emulator::run(SimTime until, des::ExecutionMode mode) {

@@ -111,6 +111,22 @@ struct EmulatorStats {
   double bytes_delivered = 0;
 };
 
+/// Counters for the adaptive-rebalance loop (see src/rebalance/). One
+/// "rebalance" is a safepoint at which migrate_nodes() actually moved at
+/// least one node; `epoch` counts them, mirroring FaultTimeline routing
+/// epochs — post-migration packets route over the new assignment exactly
+/// like post-fault packets route over the epoch's partial tables.
+struct RebalanceStats {
+  std::uint64_t rebalances = 0;
+  std::uint64_t nodes_migrated = 0;
+  /// Modeled serialized LP state moved between engines (bytes).
+  double migration_bytes = 0;
+  /// Pending keyed events moved to their node's new engine.
+  std::uint64_t events_rehomed = 0;
+  /// Current rebalance epoch (0 before any migration).
+  std::uint64_t epoch = 0;
+};
+
 /// Fault/recovery counters for one routing epoch (see epoch_stats()).
 struct EpochStats {
   double start = 0;
@@ -194,6 +210,48 @@ class Emulator : private des::EventSink {
   void set_icmp_handler(std::function<void(const Packet&, SimTime)> handler) {
     icmp_handler_ = std::move(handler);
   }
+
+  // ---- Adaptive rebalancing ----------------------------------------------
+
+  /// Register a global safe point at sim time `t` (before run()). At each
+  /// safe point the kernel quiesces every engine and invokes the rebalance
+  /// hook single-threaded; migrate_nodes() may only be called from inside
+  /// that hook.
+  void add_rebalance_safepoint(SimTime t);
+
+  /// Install the hook invoked at every rebalance safe point (before
+  /// run()). The hook runs with all engines quiescent and all cross-engine
+  /// mailboxes drained.
+  void set_rebalance_hook(std::function<void(SimTime)> hook);
+
+  /// Re-map virtual nodes onto engines mid-run (safepoint-hook-only).
+  /// Accounts the modeled migration volume (serialize_host_state() of every
+  /// moved node), re-derives channel lookaheads from the new cut (the
+  /// global conservative bound may only shrink mid-run), rehomes every
+  /// pending keyed event to its node's new engine, and bumps the rebalance
+  /// epoch. An assignment identical to the current one is a guaranteed
+  /// no-op: no migration, no rehoming, no epoch bump. Returns the number of
+  /// nodes that moved.
+  int migrate_nodes(const std::vector<int>& new_node_engine);
+
+  /// Modeled serialized size of one node's LP state in bytes: fixed header
+  /// + counters, endpoint state, one record per pending reliable message
+  /// (sender side) and one key per dedup entry (receiver side). Only
+  /// container *sizes* enter, so the value is deterministic regardless of
+  /// hash iteration order.
+  double serialize_host_state(NodeId node) const;
+
+  /// Modeled bytes migrate_nodes(new_node_engine) would move.
+  double estimate_migration_bytes(
+      const std::vector<int>& new_node_engine) const;
+
+  /// Live per-engine executed-event counts — the monitor's load signal.
+  /// Safe to read inside a safepoint hook (engines quiescent).
+  std::vector<double> engine_event_counts() const;
+
+  const std::vector<int>& node_engine() const { return node_engine_; }
+  bool collects_netflow() const { return netflow_ != nullptr; }
+  const RebalanceStats& rebalance_stats() const { return rebalance_stats_; }
 
   // ---- Execution ---------------------------------------------------------
 
@@ -345,6 +403,7 @@ class Emulator : private des::EventSink {
   const fault::FaultTimeline* faults_ = nullptr;
   std::vector<EpochCursor> epoch_cursor_;    // indexed by engine
   std::vector<EpochCounters> epoch_slots_;   // epoch * engines + engine
+  RebalanceStats rebalance_stats_;
   SimTime run_until_ = 0;
   bool ran_ = false;
 };

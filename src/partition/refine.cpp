@@ -253,4 +253,26 @@ void rebalance(const Graph& graph, Assignment& assignment,
   }
 }
 
+PartitionResult refine_from(const Graph& graph, Assignment assignment,
+                            const PartitionOptions& options) {
+  MASSF_REQUIRE(options.parts >= 1, "parts must be >= 1");
+  validate_assignment(graph, assignment, options.parts);
+  const std::vector<double> fractions = uniform_fractions(options.parts);
+  const std::vector<double> epsilons =
+      options.epsilon_per_constraint.empty()
+          ? std::vector<double>{options.epsilon}
+          : options.epsilon_per_constraint;
+  Rng rng(mix_seed(options.seed, 0x1ec0de));
+
+  rebalance(graph, assignment, fractions, epsilons, rng);
+  greedy_refine(graph, assignment, fractions, epsilons, options.refine_passes,
+                rng);
+
+  PartitionResult result;
+  result.edge_cut = edge_cut(graph, assignment);
+  result.worst_balance = worst_balance_ratio(graph, assignment, options.parts);
+  result.assignment = std::move(assignment);
+  return result;
+}
+
 }  // namespace massf::partition

@@ -35,4 +35,20 @@ void rebalance(const graph::Graph& graph, Assignment& assignment,
 /// Uniform fractions vector (1/parts each).
 std::vector<double> uniform_fractions(int parts);
 
+/// Incremental repartition: refine an *existing* assignment under (possibly
+/// drifted) vertex/arc weights instead of partitioning from scratch. The
+/// current partition is the seed — Schloegel & Karypis' adaptive
+/// repartitioning insight that when load drifts, a diffusion/boundary-
+/// refinement step from the live partition costs a migration volume
+/// proportional to the drift, while a fresh multilevel partition would
+/// scatter vertices arbitrarily and migrate most of the graph. Runs
+/// rebalance() (restore feasibility under the new weights) followed by
+/// greedy_refine() (recover cut quality along the new boundary), both
+/// seeded deterministically from options.seed. Only `parts`, `epsilon`/
+/// `epsilon_per_constraint`, `refine_passes`, and `seed` of the options are
+/// used. Returns the refined assignment with its edge cut and worst
+/// balance.
+PartitionResult refine_from(const graph::Graph& graph, Assignment assignment,
+                            const PartitionOptions& options);
+
 }  // namespace massf::partition

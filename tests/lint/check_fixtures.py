@@ -7,6 +7,11 @@ Every fixture under fixtures/ encodes its expectation in its name:
     allow_<rule>.cpp  must produce 0 findings (suppressions / sanctioned
                       shapes for the same rule)
 
+A `__<variant>` suffix after the rule adds extra fixture pairs for the
+same rule (e.g. trip_atomic_alignment__rebalance.cpp exercises the
+atomic-alignment rule on the rebalance monitor's gauge shape) — variants
+count toward the rule's trip/allow coverage.
+
 Each fixture is linted with --only <rule> --no-dir-filter so the check is
 independent of where the fixture lives in the tree. The driver also fails
 if a rule in tools/massf_lint.py has no trip/allow fixture pair, so new
@@ -41,7 +46,7 @@ def main() -> int:
 
     for path in fixture_files:
         kind, _, rule_part = path.stem.partition("_")
-        rule = rule_part.replace("_", "-")
+        rule = rule_part.partition("__")[0].replace("_", "-")
         if kind not in ("trip", "allow"):
             failures.append(f"{path.name}: fixture names must start with "
                             f"trip_ or allow_")
