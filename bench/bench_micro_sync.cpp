@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench/common.hpp"
 #include "core/mapper.hpp"
 #include "des/kernel.hpp"
 #include "emu/emulator.hpp"
@@ -210,8 +211,9 @@ ScenarioResult run_scenario(const std::string& name,
 }
 
 void write_json(std::ostream& out, const std::vector<ScenarioResult>& all) {
+  // Widest worker pool: the 4-LP dumbbell's threaded configs.
   out << "{\n  \"benchmark\": \"bench_micro_sync\",\n"
-      << "  \"build_type\": \"release\",\n"
+      << "  \"context\": " << bench::context_json(4, "  ") << ",\n"
       << "  \"headline\": \"sequential modeled-time ratio global/channel\",\n"
       << "  \"scenarios\": [\n";
   for (std::size_t s = 0; s < all.size(); ++s) {

@@ -1,0 +1,331 @@
+// Wall-clock events/sec benchmark for the threaded execution path: does
+// Threaded mode actually beat Sequential once the batched outbox handoff
+// and spin-then-park idle protocol are in (DESIGN.md §11)?
+//
+// Workload: a ring of n LPs ({2,4,8}) with one message token per LP
+// circulating hop-by-hop at exactly the channel lookahead (the densest
+// cross-engine traffic the channels admit), plus a burst of same-LP filler
+// events per hop so each engine has local work between handoffs. Every
+// event performs ~2 us of deterministic compute: emulation kernel events
+// model packet processing (the paper's calibration charges 2 ms per train
+// event on period hardware), and an events/sec race between empty
+// callbacks would measure nothing but synchronization overhead — a race a
+// conservative-parallel runtime can never win against a single thread.
+// Every configuration of one ring executes the identical event history —
+// the history hash must match bit-for-bit across all of them.
+//
+// Per ring, three execution shapes are timed under both sync protocols:
+//   * sequential        — single-threaded reference (tuned defaults);
+//   * threaded          — tuned defaults (batched outboxes, park on idle);
+//   * threaded_legacy   — KernelTuning{outbox_flush_events=1,
+//                         park_on_idle=false}: one release-store per event
+//                         and yield-spinning idle loops, i.e. the pre-batch
+//                         handoff protocol kept in-tree as the A/B baseline.
+//
+// Wall time is the best of MASSF_BENCH_REPLICAS runs (default 3; best-of
+// suppresses scheduler noise better than the mean on shared machines).
+// MASSF_WALLCLOCK_SCALE scales the simulated horizon (default 1.0; CI
+// smoke can pass e.g. 0.25).
+//
+// Acceptance gate (exit status):
+//   * always: history hashes identical across every config of every ring;
+//   * on hosts with >= 4 CPUs, for each ring with >= 4 LPs:
+//       - best threaded tuned events/sec >= 1.0x sequential events/sec,
+//       - best threaded tuned events/sec >= 2.0x its legacy baseline
+//         (same sync mode).
+//     On narrower hosts the throughput clauses are recorded as skipped in
+//     the JSON ("gate" object) — a 1-core container cannot falsify a
+//     parallelism claim.
+//
+//   $ ./bench_wallclock [BENCH_wallclock.json]
+//
+// bench/run_wallclock_bench.sh builds Release and records the JSON; a
+// debug build refuses to write results.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "des/kernel.hpp"
+
+namespace {
+
+using namespace massf;
+
+constexpr double kRingLa = 1e-3;     // ring channel lookahead (1 ms)
+constexpr double kRingEnd = 10.0;    // simulated horizon before scaling
+constexpr int kFillerPerHop = 4;     // same-LP events scheduled per hop
+constexpr int kEventWorkIters = 600;  // xorshift rounds per event (~2 us)
+
+// Per-thread sink so the compute below has an observable effect the
+// optimizer must preserve, without any cross-thread cache traffic.
+thread_local std::uint64_t g_work_sink = 0;
+
+/// The per-event "packet processing" stand-in: a fixed dose of integer
+/// compute, deterministic and side-effect-free w.r.t. the simulation.
+void event_work(std::uint64_t seed) {
+  std::uint64_t x = seed | 1;
+  for (int i = 0; i < kEventWorkIters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  g_work_sink += x;
+}
+
+double horizon_scale() {
+  if (const char* env = std::getenv("MASSF_WALLCLOCK_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0) return s;
+  }
+  return 1.0;
+}
+
+// One ring token: execute the hop at `at`, schedule the next hop one
+// lookahead ahead on the successor LP, and drop same-LP filler events in
+// between so handoff is not the only work an engine ever does.
+void hop(des::Kernel& kernel, int n, int at, double end) {
+  event_work(static_cast<std::uint64_t>(at) + 1);
+  const double t = kernel.now() + kRingLa;
+  if (t >= end) return;
+  const int next = (at + 1) % n;
+  kernel.schedule_remote(next, t, [&kernel, n, next, end] {
+    hop(kernel, n, next, end);
+  });
+  for (int j = 1; j <= kFillerPerHop; ++j) {
+    const double local = kernel.now() + kRingLa * 0.15 * j;
+    if (local < end)
+      kernel.schedule(at, local, [j] { event_work(static_cast<std::uint64_t>(j)); });
+  }
+}
+
+struct ConfigResult {
+  std::string exec;  // "sequential" | "threaded" | "threaded_legacy"
+  des::SyncMode sync = des::SyncMode::GlobalWindow;
+  double wall_time = 0;  // best-of-replicas seconds
+  double events_per_sec = 0;
+  std::uint64_t events = 0;
+  std::uint64_t remote_messages = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t channel_advances = 0;
+  std::uint64_t handoff_runs = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t history_hash = 0;
+};
+
+ConfigResult run_ring(int n, des::SyncMode sync, des::ExecutionMode exec,
+                      const des::KernelTuning& tuning, const char* label) {
+  const double end = kRingEnd * horizon_scale();
+  ConfigResult r;
+  r.exec = label;
+  r.sync = sync;
+  const int replicas = bench::replica_count();
+  for (int rep = 0; rep < replicas; ++rep) {
+    des::Kernel kernel(n, kRingLa);
+    kernel.set_sync_mode(sync);
+    kernel.set_tuning(tuning);
+    for (int i = 0; i < n; ++i) {
+      kernel.set_channel_lookahead(i, (i + 1) % n, kRingLa);
+      // Reverse channels keep the validation surface symmetric (and give
+      // ChannelLookahead a ring to advance in both directions).
+      kernel.set_channel_lookahead((i + 1) % n, i, kRingLa);
+    }
+    for (int i = 0; i < n; ++i) {
+      const double stagger = kRingLa * (1.0 + 0.25 * i);
+      kernel.schedule(i, stagger,
+                      [&kernel, n, i, end] { hop(kernel, n, i, end); });
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    kernel.run_until(end, exec);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const des::KernelStats& ks = kernel.stats();
+    std::uint64_t events = 0;
+    for (auto e : ks.events_per_lp) events += e;
+    if (rep == 0) {
+      r.wall_time = wall;
+      r.events = events;
+      r.remote_messages = ks.remote_messages;
+      r.windows = ks.windows;
+      r.channel_advances = ks.channel_advances;
+      r.handoff_runs = ks.handoff_runs;
+      r.parks = ks.parks;
+      r.history_hash = ks.history_hash;
+    } else {
+      if (ks.history_hash != r.history_hash) {
+        std::cerr << "bench_wallclock: history hash varies across replicas "
+                     "(nondeterminism!)\n";
+        std::exit(2);
+      }
+      r.wall_time = std::min(r.wall_time, wall);
+    }
+  }
+  r.events_per_sec =
+      r.wall_time > 0 ? static_cast<double>(r.events) / r.wall_time : 0;
+  return r;
+}
+
+struct RingResult {
+  int lps = 0;
+  std::vector<ConfigResult> configs;
+
+  const ConfigResult& find(des::SyncMode sync, const std::string& exec) const {
+    for (const ConfigResult& c : configs)
+      if (c.sync == sync && c.exec == exec) return c;
+    std::abort();
+  }
+  bool hashes_identical() const {
+    for (const ConfigResult& c : configs)
+      if (c.history_hash != configs.front().history_hash) return false;
+    return true;
+  }
+  /// Best tuned-threaded throughput relative to sequential, across sync
+  /// modes (each threaded config against the sequential run of its own
+  /// protocol).
+  double best_vs_sequential() const {
+    double best = 0;
+    for (auto sync :
+         {des::SyncMode::GlobalWindow, des::SyncMode::ChannelLookahead}) {
+      const double seq = find(sync, "sequential").events_per_sec;
+      if (seq > 0)
+        best = std::max(best, find(sync, "threaded").events_per_sec / seq);
+    }
+    return best;
+  }
+  /// Best tuned-threaded throughput relative to the legacy threaded
+  /// baseline of the same sync mode.
+  double best_vs_legacy() const {
+    double best = 0;
+    for (auto sync :
+         {des::SyncMode::GlobalWindow, des::SyncMode::ChannelLookahead}) {
+      const double legacy = find(sync, "threaded_legacy").events_per_sec;
+      if (legacy > 0)
+        best = std::max(best, find(sync, "threaded").events_per_sec / legacy);
+    }
+    return best;
+  }
+};
+
+RingResult run_ring_suite(int n) {
+  RingResult ring;
+  ring.lps = n;
+  const des::KernelTuning tuned;  // defaults: batched flush + park on idle
+  des::KernelTuning legacy;
+  legacy.outbox_flush_events = 1;   // pre-batch: one handoff per event
+  legacy.park_on_idle = false;      // pre-park: yield-spin idle loops
+  for (auto sync :
+       {des::SyncMode::GlobalWindow, des::SyncMode::ChannelLookahead}) {
+    std::cerr << "  ring/" << n << " " << des::to_string(sync) << "...\n";
+    ring.configs.push_back(run_ring(n, sync, des::ExecutionMode::Sequential,
+                                    tuned, "sequential"));
+    ring.configs.push_back(run_ring(n, sync, des::ExecutionMode::Threaded,
+                                    tuned, "threaded"));
+    ring.configs.push_back(run_ring(n, sync, des::ExecutionMode::Threaded,
+                                    legacy, "threaded_legacy"));
+  }
+  return ring;
+}
+
+void write_json(std::ostream& out, const std::vector<RingResult>& all,
+                bool gate_enforced, const std::string& gate_reason) {
+  out << "{\n  \"benchmark\": \"bench_wallclock\",\n"
+      << "  \"context\": " << bench::context_json(8, "  ") << ",\n"
+      << "  \"headline\": \"tuned threaded events/sec vs sequential and vs "
+         "legacy threaded baseline\",\n"
+      << "  \"gate\": {\"throughput_enforced\": "
+      << (gate_enforced ? "true" : "false") << ", \"reason\": \""
+      << gate_reason << "\"},\n"
+      << "  \"scale\": " << horizon_scale() << ",\n"
+      << "  \"replicas\": " << bench::replica_count() << ",\n"
+      << "  \"rings\": [\n";
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    const RingResult& ring = all[s];
+    out << "    {\n      \"lps\": " << ring.lps << ",\n"
+        << "      \"hash_identical\": "
+        << (ring.hashes_identical() ? "true" : "false") << ",\n"
+        << "      \"best_threaded_vs_sequential\": " << ring.best_vs_sequential()
+        << ",\n"
+        << "      \"best_threaded_vs_legacy\": " << ring.best_vs_legacy()
+        << ",\n"
+        << "      \"configs\": [\n";
+    for (std::size_t c = 0; c < ring.configs.size(); ++c) {
+      const ConfigResult& r = ring.configs[c];
+      out << "        {\"sync\": \"" << des::to_string(r.sync)
+          << "\", \"exec\": \"" << r.exec
+          << "\", \"wall_time_s\": " << r.wall_time
+          << ", \"events\": " << r.events
+          << ", \"events_per_sec\": " << r.events_per_sec
+          << ", \"remote_messages\": " << r.remote_messages
+          << ", \"windows\": " << r.windows
+          << ", \"channel_advances\": " << r.channel_advances
+          << ", \"handoff_runs\": " << r.handoff_runs
+          << ", \"parks\": " << r.parks
+          << ", \"history_hash\": \"" << r.history_hash << "\"}"
+          << (c + 1 < ring.configs.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n    }" << (s + 1 < all.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifndef NDEBUG
+  (void)argc;
+  (void)argv;
+  std::cerr << "bench_wallclock: refusing to record results from a debug "
+               "build (assertions enabled). Build Release — see "
+               "bench/run_wallclock_bench.sh.\n";
+  return 1;
+#else
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_wallclock.json";
+  std::vector<RingResult> all;
+  for (int n : {2, 4, 8}) all.push_back(run_ring_suite(n));
+
+  const unsigned num_cpus = std::thread::hardware_concurrency();
+  const bool gate_enforced = num_cpus >= 4;
+  const std::string gate_reason =
+      gate_enforced
+          ? "num_cpus >= 4: throughput clauses enforced at rings >= 4 LPs"
+          : "num_cpus < 4: throughput clauses recorded but not enforced "
+            "(cannot falsify a parallelism claim on a narrow host)";
+
+  bool ok = true;
+  for (const RingResult& ring : all) {
+    const double vs_seq = ring.best_vs_sequential();
+    const double vs_legacy = ring.best_vs_legacy();
+    std::cout << "ring/" << ring.lps << ": threaded vs sequential " << vs_seq
+              << "x, vs legacy baseline " << vs_legacy << "x, hashes "
+              << (ring.hashes_identical() ? "identical" : "DIFFER") << "\n";
+    if (!ring.hashes_identical()) ok = false;
+    if (gate_enforced && ring.lps >= 4) {
+      if (vs_seq < 1.0) {
+        std::cerr << "bench_wallclock: ring/" << ring.lps
+                  << " threaded slower than sequential (" << vs_seq
+                  << "x < 1.0x)\n";
+        ok = false;
+      }
+      if (vs_legacy < 2.0) {
+        std::cerr << "bench_wallclock: ring/" << ring.lps
+                  << " tuned threaded did not double the legacy baseline ("
+                  << vs_legacy << "x < 2.0x)\n";
+        ok = false;
+      }
+    }
+  }
+  std::ofstream out(out_path);
+  write_json(out, all, gate_enforced, gate_reason);
+  std::cout << "wrote " << out_path << " (" << gate_reason << ")\n";
+  if (!ok)
+    std::cerr << "bench_wallclock: acceptance checks FAILED\n";
+  return ok ? 0 : 1;
+#endif
+}

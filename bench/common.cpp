@@ -1,6 +1,8 @@
 #include "bench/common.hpp"
 
 #include <cstdlib>
+#include <sstream>
+#include <thread>
 
 #include "traffic/gridnpb.hpp"
 #include "traffic/http.hpp"
@@ -128,6 +130,29 @@ int replica_count() {
     if (n >= 1) return n;
   }
   return 3;
+}
+
+std::string context_json(int max_threads, const std::string& indent) {
+#ifdef NDEBUG
+  const char* build = "Release";
+#else
+  const char* build = "Debug";
+#endif
+  double loads[3] = {-1.0, -1.0, -1.0};
+#if defined(__linux__) || defined(__APPLE__)
+  // Best-effort: on failure the sentinel -1 values are recorded as-is.
+  getloadavg(loads, 3);
+#endif
+  std::ostringstream out;
+  out << "{\n"
+      << indent << "  \"build_type\": \"" << build << "\",\n"
+      << indent << "  \"num_cpus\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << indent << "  \"max_threads\": " << max_threads << ",\n"
+      << indent << "  \"load_avg\": [" << loads[0] << ", " << loads[1] << ", "
+      << loads[2] << "]\n"
+      << indent << "}";
+  return out.str();
 }
 
 CellResult run_cell(const TopologyCase& topo, App app, Approach approach) {

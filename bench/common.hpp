@@ -63,6 +63,14 @@ mapping::ExperimentSetup make_setup(const TopologyCase& topo,
 /// MASSF_BENCH_REPLICAS environment variable.
 int replica_count();
 
+/// JSON object describing the host/build context a bench ran under: build
+/// type, CPU count, widest worker pool the bench spawns (`max_threads`,
+/// 0 = single-threaded), and the 1/5/15-minute load averages (-1 where
+/// unavailable). Committed wall-clock numbers are uninterpretable without
+/// it — stamp this into every bench JSON that records wall time. `indent`
+/// prefixes every line after the first so the block nests at any depth.
+std::string context_json(int max_threads, const std::string& indent);
+
 /// Averaged measurements of one (topology, app, approach) cell.
 struct CellResult {
   double imbalance = 0;

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Record the wall-clock events/sec benchmark to BENCH_wallclock.json.
+#
+#   BUILD_DIR=build-release OUT=BENCH_wallclock.json ./bench/run_wallclock_bench.sh
+#
+# Configures and builds a dedicated Release tree (never reuses a debug
+# build: the binary itself also refuses to run without NDEBUG), verifies
+# the cache really says Release, then runs bench_wallclock. The binary
+# exits non-zero unless the history hash is identical across every
+# sync x exec x tuning configuration, and — on hosts with >= 4 CPUs —
+# tuned threaded execution reaches >= 1.0x sequential events/sec and
+# >= 2.0x the legacy threaded baseline at rings of >= 4 LPs.
+# MASSF_WALLCLOCK_SCALE scales the simulated horizon (CI smoke: 0.25).
+set -eu
+
+BUILD_DIR="${BUILD_DIR:-build-release}"
+OUT="${OUT:-BENCH_wallclock.json}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+if ! grep -q '^CMAKE_BUILD_TYPE:[A-Z]*=Release$' "$BUILD_DIR/CMakeCache.txt"; then
+  echo "error: $BUILD_DIR is not a Release build; refusing to record." >&2
+  echo "Use a fresh BUILD_DIR or reconfigure with -DCMAKE_BUILD_TYPE=Release." >&2
+  exit 1
+fi
+cmake --build "$BUILD_DIR" --target bench_wallclock -j >/dev/null
+
+exec "$BUILD_DIR/bench/bench_wallclock" "$OUT"

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <barrier>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -11,6 +10,7 @@
 #include <thread>
 #include <type_traits>
 
+#include "util/spinwait.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace massf::des {
@@ -153,10 +153,24 @@ struct Kernel::Impl {
     }
   };
 
-  struct Lp {
+  /// Per-destination staging slot for cross-LP sends. Under ChannelLookahead
+  /// events accumulate here until the run is big enough to publish
+  /// (KernelTuning::outbox_flush_events) or a flush is forced; min_t tracks
+  /// the earliest held timestamp so the sender's published clock can be
+  /// capped while it hoards (see flush_channels). GlobalWindow hands whole
+  /// windows off at the barrier and ignores min_t.
+  struct Outbox {
+    std::vector<Event> events;
+    SimTime min_t = Kernel::never();
+  };
+
+  /// alignas(64): each LP's hot state (queue, outboxes, counters) lives on
+  /// its own cache lines so one engine's bookkeeping never falsely shares
+  /// with a neighbour's in threaded runs.
+  struct alignas(64) Lp {
     EventHeap queue;
     std::uint64_t seq_counter = 0;
-    std::vector<std::vector<Event>> outbox;  // one slot per destination LP
+    std::vector<Outbox> outbox;  // one slot per destination LP
     /// Destinations whose outbox slot became non-empty this window; flushed
     /// into the receivers' pending_sources at the window barrier so the
     /// drain phase only visits live sender/receiver pairs instead of
@@ -179,30 +193,54 @@ struct Kernel::Impl {
     std::uint64_t advances = 0;
     /// ChannelLookahead + Threaded: wall seconds spent stalled.
     double idle_wait = 0;
+    /// Doorbell for the threaded stall/park protocol: senders ring it after
+    /// publishing a run or advancing their clock (run_channel_threaded).
+    util::WaitSlot wake;
+    /// Batched outbox runs this LP published (ChannelLookahead only;
+    /// deterministic in Sequential mode — the outbox-threshold observable).
+    std::uint64_t handoff_runs = 0;
+    /// Times this LP's worker parked on its wait slot (Threaded only).
+    std::uint64_t parks = 0;
     std::vector<double> series;  // event counts per sim-time bucket
   };
 
   /// One directed cross-LP channel under SyncMode::ChannelLookahead. The
-  /// mailbox is a mutex-protected handoff buffer: the sender splices a whole
-  /// outbox batch in at its publish point, the receiver swaps the vector out
-  /// before executing — both critical sections are O(batch) with no
-  /// allocation in steady state. `has_mail` lets both sides skip the lock
-  /// when the mailbox is quiet; the receiver's clear-before-swap and the
-  /// sender's fill-before-set ordering make lost wakeups impossible
-  /// (spurious flags are harmless — the swap just finds an empty vector).
+  /// mailbox is a single-producer single-consumer unbounded run queue
+  /// (Vyukov-style stub-swinging linked list): the sender publishes a whole
+  /// outbox run with ONE release store (`head->next.store(node, release)`),
+  /// the receiver consumes runs in publish order by walking `tail->next`,
+  /// and spent stubs return through the `recycled` stack. Nodes — and the
+  /// vector capacity inside them — cycle sender → queue → receiver →
+  /// recycled → sender, so the steady state allocates nothing and the only
+  /// cross-core traffic is the run handoff itself.
   struct Channel {
     std::uint32_t src = 0;
     std::uint32_t dst = 0;
     double lookahead = 0;
-    util::Mutex m;
-    std::vector<Event> mailbox MASSF_GUARDED_BY(m);
-    /// Own cache line: polled by the receiver's stall loop while the sender
-    /// publishes, so it must not share a line with the mutex or stats.
-    alignas(64) std::atomic<bool> has_mail{false};
+    /// One published run plus the queue link. A node is written by exactly
+    /// one side at a time (the sender fills `events` before its release
+    /// store of the link; the receiver reads them after its acquire load),
+    /// and the alignment keeps a node being filled off the line the
+    /// receiver is polling.
+    struct alignas(64) RunNode {
+      std::vector<Event> events;
+      std::atomic<RunNode*> next{nullptr};
+    };
+    /// Sender-side cursor: the most recently published node (queue head).
+    /// Only the src LP touches it.
+    alignas(64) RunNode* head = nullptr;
+    /// Sender-local stash of free nodes popped off `recycled` in bulk.
+    RunNode* free_cache = nullptr;
+    /// Receiver-side cursor: the consumed stub; `tail->next` is the oldest
+    /// unconsumed run (null = empty — the receiver's poll/stall predicate).
+    alignas(64) RunNode* tail = nullptr;
     // Receiver-side stats (single-writer: the dst LP's thread).
     std::uint64_t delivered = 0;
     std::uint64_t throttled = 0;
     double max_lag = 0;
+    /// Spent stubs returned receiver → sender (Treiber stack: the receiver
+    /// CAS-pushes, the sender takes the whole chain with one exchange).
+    alignas(64) std::atomic<RunNode*> recycled{nullptr};
   };
 
   std::vector<Lp> lps;
@@ -214,6 +252,11 @@ struct Kernel::Impl {
   /// Per-LP inbound channel indices, ascending by src (deterministic bound
   /// and throttle attribution regardless of registration order).
   std::vector<std::vector<std::uint32_t>> inbound;
+  /// Per-LP outbound channel indices (doorbell fan-out after a clock
+  /// publish; order is irrelevant, only membership matters).
+  std::vector<std::vector<std::uint32_t>> outbound;
+  /// KernelTuning::outbox_flush_events, latched by run_until.
+  std::uint32_t flush_threshold = 1;
 
   explicit Impl(int lp_count) : lps(static_cast<std::size_t>(lp_count)) {
     for (Lp& lp : lps) lp.outbox.resize(static_cast<std::size_t>(lp_count));
@@ -225,12 +268,24 @@ struct Kernel::Impl {
     // their callback boxes; executed events already deleted theirs.
     for (Lp& lp : lps) {
       for (Event& e : lp.queue.v) delete e.cb;  // massf-lint: allow(raw-new)
-      for (auto& box : lp.outbox)
-        for (Event& e : box) delete e.cb;  // massf-lint: allow(raw-new)
+      for (Outbox& box : lp.outbox)
+        for (Event& e : box.events) delete e.cb;  // massf-lint: allow(raw-new)
     }
+    // Channel run nodes: the live queue (tail through head — the workers
+    // are joined, plain loads suffice), the recycled stack, and the sender
+    // cache. Only live-queue nodes can still hold events.
     for (auto& ch : channels) {
-      util::MutexLock lock(ch->m);  // workers are gone; lock for the analysis
-      for (Event& e : ch->mailbox) delete e.cb;  // massf-lint: allow(raw-new)
+      auto sweep = [](Channel::RunNode* node) {
+        while (node != nullptr) {
+          Channel::RunNode* next = node->next.load(std::memory_order_relaxed);
+          for (Event& e : node->events) delete e.cb;  // massf-lint: allow(raw-new)
+          delete node;  // massf-lint: allow(raw-new)
+          node = next;
+        }
+      };
+      sweep(ch->tail);
+      sweep(ch->recycled.load(std::memory_order_relaxed));
+      sweep(ch->free_cache);
     }
   }
 
@@ -247,6 +302,8 @@ struct Kernel::Impl {
       auto ch = std::make_unique<Channel>();
       ch->src = static_cast<std::uint32_t>(src);
       ch->dst = static_cast<std::uint32_t>(dst);
+      // Queue stub (the consumed sentinel); freed by the ~Impl sweep.
+      ch->head = ch->tail = new Channel::RunNode;  // massf-lint: allow(raw-new)
       channels.push_back(std::move(ch));
     }
     Channel& ch = *channels[static_cast<std::size_t>(slot)];
@@ -254,15 +311,19 @@ struct Kernel::Impl {
     return ch;
   }
 
-  /// (Re)build the per-LP inbound channel lists. Rebuilds strictly in
-  /// place: a mid-run safepoint can register new channels while parked
-  /// worker threads hold references to the inner vectors, so the outer
-  /// vector must never reallocate after the first call.
+  /// (Re)build the per-LP inbound and outbound channel lists. Rebuilds
+  /// strictly in place: a mid-run safepoint can register new channels while
+  /// parked worker threads hold references to the inner vectors, so the
+  /// outer vectors must never reallocate after the first call.
   void build_inbound() {
     if (inbound.size() != lps.size()) inbound.resize(lps.size());
+    if (outbound.size() != lps.size()) outbound.resize(lps.size());
     for (auto& list : inbound) list.clear();
-    for (std::uint32_t c = 0; c < channels.size(); ++c)
+    for (auto& list : outbound) list.clear();
+    for (std::uint32_t c = 0; c < channels.size(); ++c) {
       inbound[channels[c]->dst].push_back(c);
+      outbound[channels[c]->src].push_back(c);
+    }
     for (auto& list : inbound)
       std::sort(list.begin(), list.end(),
                 [this](std::uint32_t a, std::uint32_t b) {
@@ -361,73 +422,124 @@ struct Kernel::Impl {
     if (receiver.pending_sources.empty()) return;
     receiver.scratch.clear();
     for (std::uint32_t src : receiver.pending_sources) {
-      auto& box = lps[src].outbox[dst];
-      receiver.scratch.insert(receiver.scratch.end(), box.begin(), box.end());
-      box.clear();
+      Outbox& box = lps[src].outbox[dst];
+      receiver.scratch.insert(receiver.scratch.end(), box.events.begin(),
+                              box.events.end());
+      box.events.clear();
+      box.min_t = Kernel::never();
     }
     receiver.pending_sources.clear();
     merge_batch(receiver, receiver.scratch, per_remote_cost);
   }
 
-  /// ChannelLookahead sender flush: splice the dirty outbox slots into the
-  /// corresponding channel mailboxes. Runs at the sending LP's publish
-  /// point, *before* the release store of its clock, so a receiver that
-  /// observes the new clock is guaranteed to also observe these events.
-  void flush_channels(std::size_t src) {
-    Lp& sender = lps[src];
-    for (std::uint32_t dst : sender.dirty_dsts) {
-      auto& box = sender.outbox[dst];
-      Channel& ch =
-          *channels[static_cast<std::size_t>(channel_index(src, dst))];
-      {
-        util::MutexLock lock(ch.m);
-        ch.mailbox.insert(ch.mailbox.end(), box.begin(), box.end());
-      }
-      box.clear();
-      ch.has_mail.store(true, std::memory_order_release);
+  /// Pop a free run node for `ch` (sender side): the local stash first,
+  /// else the whole recycled chain with one exchange, else the allocator.
+  Channel::RunNode* take_node(Channel& ch) {
+    if (ch.free_cache == nullptr)
+      ch.free_cache = ch.recycled.exchange(nullptr, std::memory_order_acquire);
+    if (Channel::RunNode* node = ch.free_cache) {
+      ch.free_cache = node->next.load(std::memory_order_relaxed);
+      return node;
     }
-    sender.dirty_dsts.clear();
+    // Cold path: the steady state recycles. Owned by the channel queue
+    // until the ~Impl sweep.
+    return new Channel::RunNode;  // massf-lint: allow(raw-new)
   }
 
-  /// ChannelLookahead receiver drain of one inbound channel. Clears
-  /// has_mail *before* swapping the mailbox out, so an append that races
-  /// past the swap leaves its flag set for the next pass.
-  void drain_channel(Channel& ch, Lp& receiver, double per_remote_cost) {
-    if (!ch.has_mail.load(std::memory_order_acquire)) return;
-    ch.has_mail.store(false, std::memory_order_relaxed);
-    receiver.scratch.clear();
-    {
-      util::MutexLock lock(ch.m);
-      ch.mailbox.swap(receiver.scratch);
+  /// Return a spent stub to the sender (receiver side of the Treiber
+  /// stack; contends only with the sender's rare bulk exchange).
+  void recycle_node(Channel& ch, Channel::RunNode* node) {
+    Channel::RunNode* top = ch.recycled.load(std::memory_order_relaxed);
+    do {
+      node->next.store(top, std::memory_order_relaxed);
+    } while (!ch.recycled.compare_exchange_weak(
+        top, node, std::memory_order_release, std::memory_order_relaxed));
+  }
+
+  /// Publish one outbox slot as a run: a single release store makes the
+  /// whole batch visible, then the receiver's doorbell rings. The caller
+  /// publishes its (possibly capped) clock only afterwards, so a receiver
+  /// that observes the new clock is guaranteed to also observe these
+  /// events.
+  void flush_box(std::size_t src, std::uint32_t dst) {
+    Lp& sender = lps[src];
+    Outbox& box = sender.outbox[dst];
+    Channel& ch = *channels[static_cast<std::size_t>(channel_index(src, dst))];
+    Channel::RunNode* node = take_node(ch);
+    node->events.swap(box.events);  // vector capacity recycles both ways
+    box.min_t = Kernel::never();
+    node->next.store(nullptr, std::memory_order_relaxed);
+    ch.head->next.store(node, std::memory_order_release);
+    ch.head = node;
+    ++sender.handoff_runs;
+    lps[dst].wake.signal();
+  }
+
+  /// ChannelLookahead sender flush at a publish point. Slots holding at
+  /// least flush_threshold events (all of them when `force`) are published;
+  /// smaller runs stay hoarded to amortize the cross-core handoff. Returns
+  /// the hoard cap: min over still-held slots of (earliest held event −
+  /// that channel's lookahead). Capping the sender's published clock there
+  /// keeps hoarding conservative-safe — a receiver's bound through a
+  /// hoarded channel never reaches the earliest event the hoard still owes
+  /// it. Runners force-flush whenever an advance executes nothing (the
+  /// prelude to every stall, rendezvous, and safepoint), so hoards never
+  /// outlive the sender's attention.
+  SimTime flush_channels(std::size_t src, bool force) {
+    Lp& sender = lps[src];
+    SimTime cap = Kernel::never();
+    auto keep = sender.dirty_dsts.begin();
+    for (std::uint32_t dst : sender.dirty_dsts) {
+      Outbox& box = sender.outbox[dst];
+      if (force || box.events.size() >= flush_threshold) {
+        flush_box(src, dst);
+      } else {
+        const Channel& ch =
+            *channels[static_cast<std::size_t>(channel_index(src, dst))];
+        cap = std::min(cap, box.min_t - ch.lookahead);
+        *keep++ = dst;
+      }
     }
+    sender.dirty_dsts.erase(keep, sender.dirty_dsts.end());
+    return cap;
+  }
+
+  /// ChannelLookahead receiver drain of one inbound channel: consume every
+  /// published run in publish order, recycle the spent stubs, and merge the
+  /// whole batch through the bulk-heapify path. The acquire load of `next`
+  /// pairs with the sender's release publish in flush_box.
+  void drain_channel(Channel& ch, Lp& receiver, double per_remote_cost) {
+    Channel::RunNode* next = ch.tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return;
+    receiver.scratch.clear();
+    do {
+      receiver.scratch.insert(receiver.scratch.end(), next->events.begin(),
+                              next->events.end());
+      next->events.clear();  // keep the capacity; the node recycles
+      Channel::RunNode* spent = ch.tail;
+      ch.tail = next;
+      recycle_node(ch, spent);
+      next = ch.tail->next.load(std::memory_order_acquire);
+    } while (next != nullptr);
     ch.delivered += receiver.scratch.size();
     merge_batch(receiver, receiver.scratch, per_remote_cost);
   }
 
-  /// Safepoint normalization for ChannelLookahead: force-drain every
-  /// mailbox into its receiver's queue (whether or not has_mail is set) so
-  /// the hook — and rehome_events — sees the complete pending-event set in
-  /// LP queues. A mailbox can legitimately be non-empty at quiescence in
-  /// both renditions (the receiver stalls on its bound without polling a
-  /// mailbox it cannot use yet); draining all of them in channel index
+  /// Safepoint normalization for ChannelLookahead: force-flush every
+  /// hoarded outbox, then force-drain every channel queue into its
+  /// receiver's queue, so the hook — and rehome_events — sees the complete
+  /// pending-event set in LP queues. A queue can legitimately be non-empty
+  /// at quiescence in both renditions (the receiver stalls on its bound
+  /// without polling runs it cannot use yet); draining in channel index
   /// order charges the per-message receive cost exactly once and
   /// identically in Sequential and Threaded mode. Runs single-threaded
   /// with every worker parked. Receive costs are folded straight into
   /// busy_total, which both renditions keep folded at their quiescent
   /// points (window_busy is 0 on entry).
   void drain_all_channels(double per_remote_cost) {
-    for (auto& chp : channels) {
-      Channel& ch = *chp;
-      Lp& receiver = lps[ch.dst];
-      receiver.scratch.clear();
-      {
-        util::MutexLock lock(ch.m);
-        ch.mailbox.swap(receiver.scratch);
-      }
-      ch.has_mail.store(false, std::memory_order_relaxed);
-      ch.delivered += receiver.scratch.size();
-      merge_batch(receiver, receiver.scratch, per_remote_cost);
-    }
+    for (std::size_t s = 0; s < lps.size(); ++s) flush_channels(s, true);
+    for (auto& chp : channels)
+      drain_channel(*chp, lps[chp->dst], per_remote_cost);
     for (Lp& lp : lps) {
       lp.busy_total += lp.window_busy;
       lp.window_busy = 0;
@@ -465,6 +577,14 @@ void Kernel::set_event_sink(EventSink* sink) {
 void Kernel::set_sync_mode(SyncMode mode) {
   MASSF_REQUIRE(!ran_, "set the sync mode before running");
   sync_mode_ = mode;
+}
+
+void Kernel::set_tuning(const KernelTuning& tuning) {
+  MASSF_REQUIRE(!ran_, "set tuning before running");
+  MASSF_REQUIRE(tuning.outbox_flush_events >= 1,
+                "outbox flush threshold must be >= 1 (1 = publish every "
+                "iteration-end flush)");
+  tuning_ = tuning;
 }
 
 void Kernel::set_channel_lookahead(int src, int dst, double la) {
@@ -569,13 +689,14 @@ void Kernel::schedule_remote(int to_lp, SimTime t, Callback fn,
   check_remote_target(to_lp, lp_count_, t, remote_lookahead(to_lp));
   MASSF_REQUIRE(fn, "event callback must be callable");
   Impl::Lp& sender = impl_->lps[static_cast<std::size_t>(tl_current_lp)];
-  auto& box = sender.outbox[static_cast<std::size_t>(to_lp)];
-  if (box.empty())
+  Impl::Outbox& box = sender.outbox[static_cast<std::size_t>(to_lp)];
+  if (box.events.empty())
     sender.dirty_dsts.push_back(static_cast<std::uint32_t>(to_lp));
+  box.min_t = std::min(box.min_t, t);
   // Event callback box: single terminal owner (execute_event / ~Impl).
-  box.push_back({t, static_cast<std::uint32_t>(tl_current_lp),
-                 sender.seq_counter++, PacketEvent{nullptr, key},
-                 new Callback(std::move(fn))});  // massf-lint: allow(raw-new)
+  box.events.push_back({t, static_cast<std::uint32_t>(tl_current_lp),
+                        sender.seq_counter++, PacketEvent{nullptr, key},
+                        new Callback(std::move(fn))});  // massf-lint: allow(raw-new)
   sender.window_busy += cost_.per_remote_message;
   ++sender.remote_sent;
 }
@@ -585,11 +706,12 @@ void Kernel::schedule_packet_remote(int to_lp, SimTime t, PacketEvent event) {
   MASSF_REQUIRE(sink_ != nullptr,
                 "register an EventSink before scheduling packet events");
   Impl::Lp& sender = impl_->lps[static_cast<std::size_t>(tl_current_lp)];
-  auto& box = sender.outbox[static_cast<std::size_t>(to_lp)];
-  if (box.empty())
+  Impl::Outbox& box = sender.outbox[static_cast<std::size_t>(to_lp)];
+  if (box.events.empty())
     sender.dirty_dsts.push_back(static_cast<std::uint32_t>(to_lp));
-  box.push_back({t, static_cast<std::uint32_t>(tl_current_lp),
-                 sender.seq_counter++, event, nullptr});
+  box.min_t = std::min(box.min_t, t);
+  box.events.push_back({t, static_cast<std::uint32_t>(tl_current_lp),
+                        sender.seq_counter++, event, nullptr});
   sender.window_busy += cost_.per_remote_message;
   ++sender.remote_sent;
 }
@@ -705,6 +827,7 @@ void Kernel::run_until(SimTime end_time, ExecutionMode mode) {
   ran_ = true;
   stats_.sync_mode = sync_mode_;
   stats_.idle_wait_per_lp.assign(static_cast<std::size_t>(lp_count_), 0.0);
+  impl_->flush_threshold = tuning_.outbox_flush_events;
 
   // Canonical safepoint schedule: ascending, duplicates coalesced (two
   // registrations at the same time are one quiescent pause).
@@ -751,6 +874,8 @@ void Kernel::run_until(SimTime end_time, ExecutionMode mode) {
     stats_.idle_wait_per_lp[static_cast<std::size_t>(i)] = lp.idle_wait;
     stats_.remote_messages += lp.remote_received;
     stats_.channel_advances += lp.advances;
+    stats_.handoff_runs += lp.handoff_runs;
+    stats_.parks += lp.parks;
     stats_.sim_time_reached = std::max(stats_.sim_time_reached, lp.max_time);
     stats_.history_hash ^=
         lp.history * (static_cast<std::uint64_t>(i) * 2654435761ULL + 1);
@@ -894,10 +1019,18 @@ void Kernel::run_threaded(SimTime end_time) {
     impl_->flush_dirty_senders();
   };
 
-  std::barrier barrier_a(static_cast<std::ptrdiff_t>(k), decide);
-  std::barrier barrier_b(static_cast<std::ptrdiff_t>(k), account);
+  // Spin-then-park barriers (util::SpinBarrier): same completion-step
+  // semantics as the std::barrier they replace, but the idle policy is the
+  // kernel's own — bounded cpu_relax spin bridging the usual sub-µs window
+  // turnaround, futex parking for genuinely idle spans.
+  util::SpinBarrier barrier_a(static_cast<int>(k), decide,
+                              tuning_.spin_iterations, tuning_.park_on_idle);
+  util::SpinBarrier barrier_b(static_cast<int>(k), account,
+                              tuning_.spin_iterations, tuning_.park_on_idle);
 
   auto worker = [&](std::size_t i) {
+    if (tuning_.pin_threads)
+      util::pin_current_thread(static_cast<unsigned>(i));
     Impl::Lp& lp = lps[i];
     // Which barrier this thread owes next — lets the recovery path keep the
     // phase protocol intact even when a callback throws mid-window.
@@ -971,16 +1104,18 @@ void Kernel::run_channel_sequential(SimTime end_time) {
   // the threaded atomics, same per-LP event order, same history hash.
   std::vector<SimTime> clock(k, 0.0);
 
-  // Earliest pending event anywhere (queues and in-flight mailboxes): the
-  // rendezvous GVT used for idle-jumps and termination.
+  // Earliest pending event anywhere (queues and in-flight channel runs):
+  // the rendezvous GVT used for idle-jumps and termination. Outboxes need
+  // no scan — an all-idle round force-flushed every one of them.
   auto global_next = [&]() {
     SimTime m = never();
     for (auto& lp : lps)
       if (!lp.queue.empty()) m = std::min(m, lp.queue.top().t);
-    for (auto& ch : channels) {
-      util::MutexLock lock(ch->m);  // single-threaded here; cheap, uncontended
-      for (const Impl::Event& e : ch->mailbox) m = std::min(m, e.t);
-    }
+    for (auto& ch : channels)
+      for (Impl::Channel::RunNode* n =
+               ch->tail->next.load(std::memory_order_acquire);
+           n != nullptr; n = n->next.load(std::memory_order_acquire))
+        for (const Impl::Event& e : n->events) m = std::min(m, e.t);
     return m;
   };
 
@@ -1028,13 +1163,18 @@ void Kernel::run_channel_sequential(SimTime end_time) {
         limiter->max_lag =
             std::max(limiter->max_lag, lp.queue.top().t - bound);
       }
-      impl_->flush_channels(i);
+      // Flush eligible outbox runs; forced when this LP executed nothing
+      // (mirrors the threaded stall rule), so an all-idle round reaches the
+      // rendezvous below with every outbox empty.
+      const SimTime cap = impl_->flush_channels(i, /*force=*/!executed);
       lp.busy_total += lp.window_busy;
       lp.window_busy = 0;
       // Publish: nothing this LP will ever execute — hence send — precedes
-      // min(queue head, bound). Clocks are monotone.
+      // min(queue head, bound); hoarded runs additionally cap the promise
+      // at (earliest hoarded event − that channel's lookahead). Clocks are
+      // monotone.
       const SimTime next = lp.queue.empty() ? never() : lp.queue.top().t;
-      clock[i] = std::max(clock[i], std::min(next, bound));
+      clock[i] = std::max(clock[i], std::min({next, bound, cap}));
     }
     if (!any_executed) {
       // A full round executed nothing anywhere: rendezvous. Safepoints the
@@ -1075,14 +1215,22 @@ void Kernel::run_channel_threaded(SimTime end_time) {
   const auto clocks = std::make_unique<ClockSlot[]>(k);
 
   // Stall accounting: an LP with nothing safely executable parks a token
-  // here and spin-waits. When all k tokens are present every worker heads
-  // into the rendezvous barrier, whose completion step — running with the
-  // whole kernel quiescent — either stops the run or jumps all clocks over
-  // the idle span. Exactly the "barrier only for termination detection and
+  // here and waits — bounded spin first, then a futex park on its wait
+  // slot. When all k tokens are present every worker heads into the
+  // rendezvous barrier, whose completion step — running with the whole
+  // kernel quiescent — either stops the run or jumps all clocks over the
+  // idle span. Exactly the "barrier only for termination detection and
   // end-of-run" fallback.
   std::atomic<int> stalled{0};
   std::atomic<bool> stop{false};
   FailureBox failure;
+
+  // Ring every LP's doorbell — used on the global transitions (all-k stall,
+  // worker failure) that parked workers cannot observe through their own
+  // inbound channels.
+  auto signal_all = [&]() {
+    for (auto& lp : lps) lp.wake.signal();
+  };
 
   auto rendezvous_step = [&]() noexcept {
     stalled.store(0, std::memory_order_relaxed);
@@ -1094,13 +1242,14 @@ void Kernel::run_channel_threaded(SimTime end_time) {
       SimTime m = never();
       for (auto& lp : lps)
         if (!lp.queue.empty()) m = std::min(m, lp.queue.top().t);
-      for (auto& ch : channels) {
-        // Every worker is parked in this barrier, so the mailboxes are
-        // quiescent; the lock is uncontended and keeps the discipline
-        // honest.
-        util::MutexLock lock(ch->m);
-        for (const Impl::Event& e : ch->mailbox) m = std::min(m, e.t);
-      }
+      // Every worker is parked in this barrier and stalled only after a
+      // forced flush, so the outboxes are empty and the channel run queues
+      // are quiescent: walking them unsynchronized is safe and complete.
+      for (auto& ch : channels)
+        for (Impl::Channel::RunNode* n =
+                 ch->tail->next.load(std::memory_order_acquire);
+             n != nullptr; n = n->next.load(std::memory_order_acquire))
+          for (const Impl::Event& e : n->events) m = std::min(m, e.t);
       return m;
     };
     SimTime gvt = global_next();
@@ -1134,18 +1283,22 @@ void Kernel::run_channel_threaded(SimTime end_time) {
       ++stats_.idle_jumps;
     }
   };
-  std::barrier rendezvous(static_cast<std::ptrdiff_t>(k), rendezvous_step);
+  util::SpinBarrier rendezvous(static_cast<int>(k), rendezvous_step,
+                               tuning_.spin_iterations, tuning_.park_on_idle);
 
   auto worker = [&](std::size_t i) {
+    if (tuning_.pin_threads)
+      util::pin_current_thread(static_cast<unsigned>(i));
     Impl::Lp& lp = lps[i];
     const auto& in = impl_->inbound[i];
+    const auto& out = impl_->outbound[i];
     std::vector<SimTime> snapshot(in.size(), 0.0);
     try {
       while (!stop.load(std::memory_order_acquire)) {
         // Drain + bound. Loading the sender's clock with acquire *before*
-        // touching the mailbox pairs with the sender's flush-then-release-
-        // publish: any event not yet visible here must carry
-        // t >= clock + lookahead, i.e. >= our bound.
+        // touching the run queue pairs with the sender's flush-then-
+        // release-publish: any run not yet visible here must carry events
+        // with t >= clock + lookahead, i.e. >= our bound.
         SimTime bound = never();
         Impl::Channel* limiter = nullptr;
         for (std::uint32_t ci : in) {
@@ -1175,45 +1328,69 @@ void Kernel::run_channel_threaded(SimTime end_time) {
           limiter->max_lag =
               std::max(limiter->max_lag, lp.queue.top().t - bound);
         }
-        // Flush before the release publish (see drain comment above).
-        impl_->flush_channels(i);
+        // Flush before the release publish (see drain comment above); the
+        // flush is forced when nothing ran — this LP is about to stall, and
+        // a parked receiver must never wait on a hoarded run.
+        const SimTime cap = impl_->flush_channels(i, /*force=*/!executed);
         lp.busy_total += lp.window_busy;
         lp.window_busy = 0;
         const SimTime next = lp.queue.empty() ? never() : lp.queue.top().t;
-        const SimTime published = std::min(next, bound);
-        if (published > clocks[i].v.load(std::memory_order_relaxed))
+        const SimTime published = std::min({next, bound, cap});
+        if (published > clocks[i].v.load(std::memory_order_relaxed)) {
           clocks[i].v.store(published, std::memory_order_release);
+          // Doorbell every receiver whose bound may have grown.
+          for (std::uint32_t ci : out) lps[channels[ci]->dst].wake.signal();
+        }
         if (executed) continue;
 
-        // Stall: nothing safely executable. Spin (yielding) until an
-        // inbound clock moves or mail arrives; if all k LPs end up parked,
-        // the rendezvous barrier resolves the global state. A safepoint may
-        // have registered new inbound channels since the last stall, so the
+        // Stall: nothing safely executable. Spin, then park on the wait
+        // slot until an inbound clock moves, a run arrives, or the k-th
+        // staller rings everyone into the rendezvous. A safepoint may have
+        // registered new inbound channels since the last stall, so the
         // snapshot buffer is re-sized to the live list each time.
         snapshot.resize(in.size());
         for (std::size_t c = 0; c < in.size(); ++c)
           snapshot[c] =
               clocks[channels[in[c]]->src].v.load(std::memory_order_relaxed);
+        auto has_work = [&]() {
+          for (std::size_t c = 0; c < in.size(); ++c) {
+            Impl::Channel& ch = *channels[in[c]];
+            if (ch.tail->next.load(std::memory_order_relaxed) != nullptr ||
+                clocks[ch.src].v.load(std::memory_order_relaxed) !=
+                    snapshot[c])
+              return true;
+          }
+          return false;
+        };
         const auto wait_start = std::chrono::steady_clock::now();
-        stalled.fetch_add(1, std::memory_order_acq_rel);
+        if (stalled.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            static_cast<int>(k))
+          signal_all();
+        util::SpinWait spin(tuning_.spin_iterations, tuning_.park_on_idle);
         while (true) {
           if (stalled.load(std::memory_order_acquire) ==
               static_cast<int>(k)) {
             rendezvous.arrive_and_wait();  // consumes our stall token
             break;
           }
-          bool wake = false;
-          for (std::size_t c = 0; c < in.size() && !wake; ++c) {
-            Impl::Channel& ch = *channels[in[c]];
-            wake = ch.has_mail.load(std::memory_order_relaxed) ||
-                   clocks[ch.src].v.load(std::memory_order_relaxed) !=
-                       snapshot[c];
-          }
-          if (wake) {
+          if (has_work()) {
             stalled.fetch_sub(1, std::memory_order_acq_rel);
             break;
           }
-          std::this_thread::yield();
+          if (spin.should_park()) {
+            // Eventcount handshake: snapshot the epoch, re-check both wake
+            // conditions, park. Every state change we could miss here is
+            // followed by a signal() to this slot, which either bumps the
+            // epoch before we sleep or wakes us after.
+            const std::uint32_t epoch = lp.wake.prepare();
+            if (stalled.load(std::memory_order_acquire) !=
+                    static_cast<int>(k) &&
+                !has_work()) {
+              lp.wake.park(epoch);
+              ++lp.parks;
+            }
+            spin.reset();
+          }
         }
         lp.idle_wait += std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - wait_start)
@@ -1223,16 +1400,31 @@ void Kernel::run_channel_threaded(SimTime end_time) {
       tl_current_lp = -1;
       failure.record(std::current_exception());
       // Publish an infinite clock — this LP executes nothing further, so no
-      // event it could still send undercuts any receiver's bound — then keep
-      // the stall/rendezvous protocol alive until everyone sees stop. The
-      // token is re-parked every round because each rendezvous completion
-      // resets the counter.
+      // event it could still send undercuts any receiver's bound — ring
+      // every doorbell, then keep the stall/rendezvous protocol alive until
+      // everyone sees stop. The token is re-parked every round because each
+      // rendezvous completion resets the counter.
       clocks[i].v.store(never(), std::memory_order_release);
+      signal_all();
       while (!stop.load(std::memory_order_acquire)) {
-        stalled.fetch_add(1, std::memory_order_acq_rel);
+        if (stalled.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            static_cast<int>(k))
+          signal_all();
+        util::SpinWait spin(tuning_.spin_iterations, tuning_.park_on_idle);
         while (!stop.load(std::memory_order_acquire) &&
-               stalled.load(std::memory_order_acquire) != static_cast<int>(k))
-          std::this_thread::yield();
+               stalled.load(std::memory_order_acquire) !=
+                   static_cast<int>(k)) {
+          if (spin.should_park()) {
+            const std::uint32_t epoch = lp.wake.prepare();
+            if (!stop.load(std::memory_order_acquire) &&
+                stalled.load(std::memory_order_acquire) !=
+                    static_cast<int>(k)) {
+              lp.wake.park(epoch);
+              ++lp.parks;
+            }
+            spin.reset();
+          }
+        }
         if (stop.load(std::memory_order_acquire)) break;
         rendezvous.arrive_and_wait();
       }

@@ -101,6 +101,46 @@ enum class SyncMode { GlobalWindow, ChannelLookahead };
 /// Stable display name ("global-window" / "channel-lookahead").
 const char* to_string(SyncMode mode);
 
+/// Under SyncMode::ChannelLookahead a sender's per-destination outbox is
+/// published to the channel mailbox as one batched run (a single
+/// release-store) only once it holds at least this many events; smaller
+/// runs are held across advance iterations — with the sender's published
+/// clock capped so the hold is conservative-safe — and force-flushed at
+/// every stall, rendezvous, and safepoint. 16 amortizes the cross-core
+/// cache handoff over a run while staying small enough that a drained run
+/// usually rides the bulk-heapify path (kBulkHeapifyThreshold) at the
+/// receiver. Exposed so tests can pin both sides of the threshold
+/// (KernelStats::handoff_runs is the observable). GlobalWindow mode always
+/// hands off whole windows and ignores this knob.
+inline constexpr std::uint32_t kOutboxFlushEvents = 16;
+
+/// Iterations a threaded worker spends in the cpu_relax() spin loop —
+/// waiting for an inbound clock, mail, or a barrier phase — before parking
+/// on its futex-backed wait slot. ~2k pause iterations is on the order of
+/// a microsecond: long enough to bridge a neighbour's typical publish
+/// cadence without a syscall, short enough that a genuinely idle span
+/// costs one park instead of a burned scheduler quantum. Both sides are
+/// pinned by tests through KernelTuning (0 = park immediately; huge =
+/// never park within the test's horizon).
+inline constexpr std::uint32_t kSpinIterationsBeforePark = 2048;
+
+/// Wall-clock execution knobs (never affect the event history — only how
+/// fast the threaded runners get through it). Defaults are the tuned fast
+/// path; bench_wallclock selects pre-change-shaped baselines through this
+/// struct for its A/B gate.
+struct KernelTuning {
+  /// Outbox-run publish threshold (see kOutboxFlushEvents). Minimum 1:
+  /// every iteration-end flush publishes whatever accumulated.
+  std::uint32_t outbox_flush_events = kOutboxFlushEvents;
+  /// Spin budget before parking (see kSpinIterationsBeforePark).
+  std::uint32_t spin_iterations = kSpinIterationsBeforePark;
+  /// false = never park: exhausted spins degrade to sched_yield polling
+  /// (the pre-change idle protocol, kept selectable for A/B benchmarks).
+  bool park_on_idle = true;
+  /// Round-robin-pin worker i to CPU (i mod cores) in threaded runs.
+  bool pin_threads = false;
+};
+
 /// Bulk inbox appends below this size go through ordinary heap pushes; at
 /// or above it — and only when the batch is a sizable fraction of the queue
 /// (batch > queue size, or the queue is empty) — a single sort/make_heap
@@ -150,6 +190,15 @@ struct KernelStats {
   /// ChannelLookahead only: rendezvous barriers taken to jump over globally
   /// idle spans (termination detection is one more rendezvous on top).
   std::uint64_t idle_jumps = 0;
+  /// ChannelLookahead only: batched outbox runs published to channel
+  /// mailboxes (each is one release-store regardless of how many events it
+  /// carries). Deterministic in Sequential mode — the branch-pinning
+  /// observable for KernelTuning::outbox_flush_events; in Threaded mode a
+  /// diagnostic (stall-forced flushes depend on timing).
+  std::uint64_t handoff_runs = 0;
+  /// Threaded only: times a worker exhausted its spin budget and parked on
+  /// its wait slot (futex). Timing-dependent diagnostic, like idle_wait.
+  std::uint64_t parks = 0;
   /// ChannelLookahead + Threaded only: measured wall-clock seconds each LP
   /// spent spinning with nothing safely executable (per-engine idle wait).
   /// Zeros in Sequential mode, where waiting has no meaning.
@@ -214,6 +263,11 @@ class Kernel {
   /// run_until.
   void set_sync_mode(SyncMode mode);
   SyncMode sync_mode() const { return sync_mode_; }
+
+  /// Wall-clock execution knobs (batching/idle policy; never affects the
+  /// event history). Set before run_until.
+  void set_tuning(const KernelTuning& tuning);
+  const KernelTuning& tuning() const { return tuning_; }
 
   /// Register a directed channel src → dst with its own lookahead (the
   /// minimum latency of cut links between that engine pair — at least the
@@ -368,6 +422,7 @@ class Kernel {
   bool ran_ = false;
   bool in_safepoint_ = false;
   SyncMode sync_mode_ = SyncMode::GlobalWindow;
+  KernelTuning tuning_;
   std::vector<SimTime> safepoints_;  // sorted + deduped at run_until
   std::size_t next_sp_ = 0;          // index of the next unfired safepoint
   SafepointHook safepoint_hook_;

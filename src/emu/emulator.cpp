@@ -66,6 +66,7 @@ Emulator::Emulator(const topology::Network& network,
   kernel_->set_bucket_width(config_.bucket_width);
   kernel_->set_event_sink(this);
   kernel_->set_sync_mode(config_.sync_mode);
+  kernel_->set_tuning(config_.tuning);
   register_channel_lookaheads();
   if (config_.collect_netflow)
     netflow_ = std::make_unique<NetFlowCollector>(

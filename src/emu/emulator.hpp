@@ -78,6 +78,10 @@ struct EmulatorConfig {
   /// are scheduled engine-locally), so per-pair cut minima are valid
   /// channel lookaheads by construction.
   des::SyncMode sync_mode = des::SyncMode::GlobalWindow;
+  /// Kernel wall-clock execution knobs (outbox batching, spin-then-park
+  /// idle policy, thread pinning). Never affects the emulated history —
+  /// bench_wallclock drives its A/B baselines through this.
+  des::KernelTuning tuning{};
 };
 
 /// Aggregate emulator counters (folded from per-node slots after a run).

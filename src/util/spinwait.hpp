@@ -1,0 +1,206 @@
+// Adaptive spin-then-park waiting primitives shared by the DES kernel's
+// threaded runners (both SyncMode protocols — DESIGN.md §11).
+//
+// The pre-batching idle protocol burned a scheduler quantum per poll
+// (std::this_thread::yield loops) or paid a futex syscall per window
+// (std::barrier). Both are wrong defaults for a conservative DES: idle
+// spans are usually *short* (a neighbour LP publishes its clock within a
+// few hundred nanoseconds) but occasionally *long* (a genuinely idle
+// simulation span that only a rendezvous can jump). The primitives here
+// split the difference:
+//
+//   * SpinWait — a bounded cpu_relax() spin that escalates: for the first
+//     `spin_budget` iterations it executes a pause instruction (cheap,
+//     keeps the core's load port free for the line it is polling); past
+//     the budget it either tells the caller to park (park allowed) or
+//     degrades to sched_yield (park disallowed — the pre-change behaviour,
+//     kept selectable so benchmarks can A/B the old protocol).
+//   * WaitSlot — a one-waiter eventcount: the waiter snapshots an epoch,
+//     re-checks its predicate, and parks on the epoch word via C++20
+//     atomic wait (futex on Linux); signalers bump the epoch and issue the
+//     wake syscall only when a waiter actually announced itself, so the
+//     signal fast path is one uncontended fetch_add + load.
+//   * SpinBarrier — a sense-reversing centralized barrier over the same
+//     spin-then-park policy, with a single-threaded completion step
+//     (replaces std::barrier in both threaded runners so the idle policy
+//     is uniform and tunable).
+//
+// Every busy-wait loop in src/ must go through this header — massf-lint's
+// busy-wait rule flags raw yield/empty-while polls elsewhere.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace massf::util {
+
+/// One iteration of polite same-core waiting: the architectural pause/yield
+/// hint, a compiler barrier on unknown targets. Never a syscall.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Round-robin-pin the calling thread to `cpu` (mod the online set).
+/// Returns false when unsupported; pinning is a locality hint, never a
+/// correctness requirement.
+inline bool pin_current_thread(unsigned cpu) noexcept {
+#if defined(__linux__)
+  const unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(cpu % n), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+/// Bounded-spin policy object. Usage:
+///
+///   SpinWait spin(budget, park_allowed);
+///   while (!predicate()) {
+///     if (spin.should_park()) { <announce + park>; spin.reset(); }
+///   }
+///
+/// should_park() burns one cpu_relax() per call while the budget lasts and
+/// returns false; once exhausted it returns true when parking is allowed,
+/// or yields the scheduler quantum and returns false when it is not (the
+/// caller then stays in its poll loop — the legacy protocol).
+class SpinWait {
+ public:
+  explicit SpinWait(std::uint32_t spin_budget, bool park_allowed = true)
+      : budget_(spin_budget), park_(park_allowed) {}
+
+  bool should_park() noexcept {
+    if (spun_ < budget_) {
+      ++spun_;
+      cpu_relax();
+      return false;
+    }
+    if (park_) return true;
+    std::this_thread::yield();  // massf-lint: allow(busy-wait)
+    return false;
+  }
+
+  /// Re-arm the spin budget (after a park or a successful poll).
+  void reset() noexcept { spun_ = 0; }
+
+  std::uint32_t spun() const noexcept { return spun_; }
+
+ private:
+  std::uint32_t spun_ = 0;
+  const std::uint32_t budget_;
+  const bool park_;
+};
+
+/// One-waiter eventcount. The waiter side:
+///
+///   const std::uint32_t e = slot.prepare();
+///   if (predicate()) ...        // re-check AFTER prepare()
+///   else slot.park(e);          // sleeps unless a signal raced in
+///
+/// Any number of signalers call signal() after making their predicate
+/// change visible. prepare() → predicate → park() never loses a wakeup:
+/// a signal between prepare() and park() bumps the epoch, and atomic
+/// wait(old) refuses to sleep on a changed word. The parked_ announcement
+/// uses seq_cst on both sides (classic Dekker handshake) so a signaler
+/// either sees the announcement and wakes, or the waiter's recheck sees
+/// the bumped epoch.
+class alignas(64) WaitSlot {
+ public:
+  std::uint32_t prepare() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Park until the epoch moves past `seen`. Returns immediately if a
+  /// signal already raced in.
+  void park(std::uint32_t seen) noexcept {
+    parked_.store(true, std::memory_order_seq_cst);
+    if (epoch_.load(std::memory_order_seq_cst) == seen)
+      epoch_.wait(seen, std::memory_order_acquire);
+    parked_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Publish "something changed": bump the epoch, wake a parked waiter.
+  /// The wake syscall is skipped when no waiter announced itself.
+  void signal() noexcept {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (parked_.load(std::memory_order_seq_cst)) epoch_.notify_one();
+  }
+
+  /// Observability for tests: is a waiter currently announced?
+  bool has_parked_waiter() const noexcept {
+    return parked_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint32_t> epoch_{0};
+  std::atomic<bool> parked_{false};
+};
+
+/// Sense-reversing centralized barrier with a completion step, built on the
+/// spin-then-park policy. Semantics match std::barrier with a completion
+/// function: the last arriver runs `completion` single-threaded (every
+/// other participant is blocked in arrive_and_wait), then releases the
+/// phase. Reusable across phases; the participant count is fixed.
+class SpinBarrier {
+ public:
+  SpinBarrier(int participants, std::function<void()> completion,
+              std::uint32_t spin_budget, bool park_allowed = true)
+      : n_(participants),
+        completion_(std::move(completion)),
+        spin_budget_(spin_budget),
+        park_(park_allowed) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() noexcept {
+    const std::uint32_t phase = phase_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      if (completion_) completion_();
+      // Release the phase; wake sleepers only if any announced themselves
+      // (same Dekker handshake as WaitSlot).
+      phase_.fetch_add(1, std::memory_order_seq_cst);
+      if (parked_.load(std::memory_order_seq_cst) > 0) phase_.notify_all();
+      return;
+    }
+    SpinWait spin(spin_budget_, park_);
+    while (phase_.load(std::memory_order_acquire) == phase) {
+      if (spin.should_park()) {
+        parked_.fetch_add(1, std::memory_order_seq_cst);
+        if (phase_.load(std::memory_order_seq_cst) == phase)
+          phase_.wait(phase, std::memory_order_acquire);
+        parked_.fetch_sub(1, std::memory_order_relaxed);
+        spin.reset();
+      }
+    }
+  }
+
+ private:
+  const int n_;
+  const std::function<void()> completion_;
+  const std::uint32_t spin_budget_;
+  const bool park_;
+  alignas(64) std::atomic<int> arrived_{0};
+  alignas(64) std::atomic<std::uint32_t> phase_{0};
+  alignas(64) std::atomic<int> parked_{0};
+};
+
+}  // namespace massf::util

@@ -171,9 +171,11 @@ TEST(Kernel, ThreadedExceptionPropagates) {
 /// Build a deterministic ping-pong workload across `lps` LPs and return the
 /// kernel stats after running in the given mode.
 KernelStats pingpong(int lps, ExecutionMode mode,
-                     SyncMode sync = SyncMode::GlobalWindow) {
+                     SyncMode sync = SyncMode::GlobalWindow,
+                     const KernelTuning& tuning = KernelTuning{}) {
   Kernel kernel(lps, 1.0);
   kernel.set_sync_mode(sync);
+  kernel.set_tuning(tuning);
   // Self-perpetuating chains: each LP forwards a token around the ring,
   // also scheduling local work.
   std::function<void(int, int)> hop = [&](int lp, int hops_left) {
@@ -494,6 +496,88 @@ TEST_P(PacketChannelModeEquivalence, HistoryIdenticalAcrossProtocolsAndModes) {
 
 INSTANTIATE_TEST_SUITE_P(LpCounts, PacketChannelModeEquivalence,
                          ::testing::Values(1, 2, 3, 4, 8));
+
+// ---- Outbox flush threshold (KernelTuning, branch-pinning) ---------------
+//
+// In Sequential ChannelLookahead the flush schedule is deterministic, so
+// stats().handoff_runs is an exact observable for the threshold branch in
+// flush_channels: threshold 1 publishes every dirty slot every advance
+// (the below-threshold hoard branch is never taken), a huge threshold
+// publishes only on forced flushes (the at-threshold branch is never met).
+
+TEST(OutboxTuning, EagerFlushProducesMoreRunsThanHoarding) {
+  KernelTuning eager;
+  eager.outbox_flush_events = 1;
+  KernelTuning hoarder;
+  hoarder.outbox_flush_events = 1u << 20;
+  const KernelStats e = pingpong(4, ExecutionMode::Sequential,
+                                 SyncMode::ChannelLookahead, eager);
+  const KernelStats h = pingpong(4, ExecutionMode::Sequential,
+                                 SyncMode::ChannelLookahead, hoarder);
+  EXPECT_GT(e.handoff_runs, 0u);
+  EXPECT_GT(h.handoff_runs, 0u);  // forced flushes still publish everything
+  EXPECT_GT(e.handoff_runs, h.handoff_runs);
+  // A run carries at least one event, so runs never exceed messages.
+  EXPECT_LE(e.handoff_runs, e.remote_messages);
+  // Batching changes how events travel, never which events exist.
+  EXPECT_EQ(e.history_hash, h.history_hash);
+  EXPECT_EQ(e.events_per_lp, h.events_per_lp);
+  EXPECT_EQ(e.remote_messages, h.remote_messages);
+}
+
+TEST(OutboxTuning, FlushScheduleIsDeterministic) {
+  const KernelStats a = pingpong(4, ExecutionMode::Sequential,
+                                 SyncMode::ChannelLookahead);
+  const KernelStats b = pingpong(4, ExecutionMode::Sequential,
+                                 SyncMode::ChannelLookahead);
+  EXPECT_EQ(a.handoff_runs, b.handoff_runs);
+  EXPECT_EQ(a.history_hash, b.history_hash);
+}
+
+// The wall-clock knobs must be invisible in the history: every tuning
+// extreme (eager vs hoarding flush, park vs legacy yield idle, pinned
+// threads) reproduces the untuned GlobalWindow/Sequential hash in both
+// sync modes and both execution modes.
+TEST(OutboxTuning, HistoryInvariantAcrossTuningExtremes) {
+  const int lps = 4;
+  const KernelStats base = pingpong(lps, ExecutionMode::Sequential);
+
+  KernelTuning eager_legacy;
+  eager_legacy.outbox_flush_events = 1;
+  eager_legacy.park_on_idle = false;
+  KernelTuning hoard_pinned;
+  hoard_pinned.outbox_flush_events = 1u << 20;
+  hoard_pinned.pin_threads = true;
+
+  for (const KernelTuning& tuning : {eager_legacy, hoard_pinned}) {
+    for (auto sync : {SyncMode::GlobalWindow, SyncMode::ChannelLookahead}) {
+      for (auto mode :
+           {ExecutionMode::Sequential, ExecutionMode::Threaded}) {
+        const KernelStats got = pingpong(lps, mode, sync, tuning);
+        EXPECT_EQ(base.history_hash, got.history_hash)
+            << "flush=" << tuning.outbox_flush_events
+            << " park=" << tuning.park_on_idle << " sync=" << to_string(sync)
+            << " mode=" << (mode == ExecutionMode::Sequential ? "seq" : "thr");
+        EXPECT_EQ(base.events_per_lp, got.events_per_lp);
+        EXPECT_EQ(base.remote_messages, got.remote_messages);
+      }
+    }
+  }
+}
+
+TEST(OutboxTuning, RejectsZeroFlushThreshold) {
+  Kernel kernel(2, 1.0);
+  KernelTuning tuning;
+  tuning.outbox_flush_events = 0;
+  EXPECT_THROW(kernel.set_tuning(tuning), std::invalid_argument);
+}
+
+TEST(OutboxTuning, RejectsTuningAfterRun) {
+  Kernel kernel(1, 1.0);
+  kernel.schedule(0, 0.5, [] {});
+  kernel.run_until(1.0);
+  EXPECT_THROW(kernel.set_tuning(KernelTuning{}), std::invalid_argument);
+}
 
 /// A slow channel must not throttle a pair coupled only through fast
 /// channels — the whole point of per-channel bounds. Two fast-coupled LPs

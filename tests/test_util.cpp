@@ -1,11 +1,16 @@
-// Unit tests for the utility layer: RNG, statistics, tables, CSV, strings.
+// Unit tests for the utility layer: RNG, statistics, tables, CSV, strings,
+// and the spin-then-park waiting primitives.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/csv.hpp"
 #include "util/rng.hpp"
+#include "util/spinwait.hpp"
 #include "util/stats.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -205,6 +210,100 @@ TEST(Strings, ParseNumbers) {
 TEST(Strings, FormatHelpers) {
   EXPECT_EQ(format_bytes(1536), "1.5 KB");
   EXPECT_EQ(format_bandwidth(40e9), "40.0 Gb/s");
+}
+
+// ---- spin-then-park primitives (util/spinwait.hpp) -----------------------
+
+// Branch-pinning: below the budget should_park spins and says no; at the
+// budget it flips to yes (park allowed) and stays there until reset.
+TEST(SpinWait, ParksExactlyAtBudget) {
+  util::SpinWait spin(3, /*park_allowed=*/true);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(spin.should_park()) << "iteration " << i;
+  }
+  EXPECT_EQ(spin.spun(), 3u);
+  EXPECT_TRUE(spin.should_park());
+  EXPECT_TRUE(spin.should_park());  // saturates, does not re-arm itself
+  spin.reset();
+  EXPECT_EQ(spin.spun(), 0u);
+  EXPECT_FALSE(spin.should_park());
+}
+
+TEST(SpinWait, ZeroBudgetParksImmediately) {
+  util::SpinWait spin(0, /*park_allowed=*/true);
+  EXPECT_TRUE(spin.should_park());
+}
+
+// The legacy (park-disallowed) shape never asks to park: past the budget it
+// degrades to yield-and-poll, which the caller observes as false forever.
+TEST(SpinWait, ParkDisallowedDegradesToYield) {
+  util::SpinWait spin(2, /*park_allowed=*/false);
+  for (int i = 0; i < 16; ++i) EXPECT_FALSE(spin.should_park());
+  EXPECT_EQ(spin.spun(), 2u);  // spin counter saturates at the budget
+}
+
+// A signal that races in between prepare() and park() must prevent the
+// sleep entirely (the eventcount's lost-wakeup guarantee).
+TEST(WaitSlot, SignalBeforeParkPreventsSleep) {
+  util::WaitSlot slot;
+  const std::uint32_t seen = slot.prepare();
+  slot.signal();
+  slot.park(seen);  // must return immediately — epoch moved past `seen`
+  EXPECT_FALSE(slot.has_parked_waiter());
+}
+
+TEST(WaitSlot, CrossThreadWake) {
+  util::WaitSlot slot;
+  std::atomic<bool> ready{false};
+  std::thread waiter([&] {
+    util::SpinWait spin(64, /*park_allowed=*/true);
+    while (!ready.load(std::memory_order_acquire)) {
+      if (spin.should_park()) {
+        const std::uint32_t seen = slot.prepare();
+        if (!ready.load(std::memory_order_acquire)) slot.park(seen);
+        spin.reset();
+      }
+    }
+  });
+  ready.store(true, std::memory_order_release);
+  slot.signal();
+  waiter.join();  // termination is the assertion: no lost wakeup
+  EXPECT_FALSE(slot.has_parked_waiter());
+}
+
+// The completion step runs single-threaded between phases: a plain int
+// incremented there is torn or lost if mutual exclusion ever breaks, and
+// the final count pins one completion per phase.
+TEST(SpinBarrier, CompletionRunsOncePerPhase) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  int completions = 0;  // deliberately non-atomic
+  util::SpinBarrier barrier(kThreads, [&] { ++completions; },
+                            /*spin_budget=*/32, /*park_allowed=*/true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) barrier.arrive_and_wait();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(completions, kPhases);
+}
+
+// Same barrier, legacy yield-spin shape (park disallowed) — the protocol
+// bench_wallclock uses as its A/B baseline must also be correct.
+TEST(SpinBarrier, ParkDisallowedStillSynchronizes) {
+  constexpr int kThreads = 3;
+  constexpr int kPhases = 20;
+  int completions = 0;
+  util::SpinBarrier barrier(kThreads, [&] { ++completions; },
+                            /*spin_budget=*/8, /*park_allowed=*/false);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) barrier.arrive_and_wait();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(completions, kPhases);
 }
 
 }  // namespace

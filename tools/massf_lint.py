@@ -23,6 +23,11 @@ Rules
                        publishing never falsely shares a cache line
   raw-new              raw new/delete in src/des (events carry raw owning
                        pointers only inside the audited Event-box protocol)
+  busy-wait            raw poll loops in src/ (empty-body while or
+                       std::this_thread::yield spins) outside
+                       util/spinwait.hpp — idle waiting goes through
+                       SpinWait/WaitSlot/SpinBarrier, which bound the spin
+                       and escalate to a futex park
 
 Suppression
 -----------
@@ -122,6 +127,21 @@ RULES: dict[str, Rule] = {
             patterns=(
                 re.compile(r"\bnew\s+[A-Za-z_(:<]"),
                 re.compile(r"\bdelete\s*(?:\[\s*\]\s*)?[A-Za-z_(*]"),
+            ),
+        ),
+        Rule(
+            name="busy-wait",
+            dirs=("src",),
+            exempt=("src/util/spinwait.hpp",),
+            description=("raw poll loop (empty-body while or "
+                         "std::this_thread::yield spin): burns a core or a "
+                         "scheduler quantum per check — wait through "
+                         "util/spinwait.hpp's SpinWait/WaitSlot/SpinBarrier"),
+            patterns=(
+                re.compile(r"std::this_thread::yield\s*\("),
+                # Empty-body while on one line ({} or bare ;). Lines opening
+                # with `}` (do-while tails) never match.
+                re.compile(r"^\s*while\s*\(.*\)\s*(?:\{\s*\}|;)\s*$"),
             ),
         ),
     ]
