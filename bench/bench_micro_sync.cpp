@@ -214,6 +214,9 @@ void write_json(std::ostream& out, const std::vector<ScenarioResult>& all) {
   // Widest worker pool: the 4-LP dumbbell's threaded configs.
   out << "{\n  \"benchmark\": \"bench_micro_sync\",\n"
       << "  \"context\": " << bench::context_json(4, "  ") << ",\n"
+      // Both scenarios run default tuning and inject no faults.
+      << "  \"run_config\": "
+      << bench::run_config_json(des::KernelTuning{}, 0, "  ") << ",\n"
       << "  \"headline\": \"sequential modeled-time ratio global/channel\",\n"
       << "  \"scenarios\": [\n";
   for (std::size_t s = 0; s < all.size(); ++s) {

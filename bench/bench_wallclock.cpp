@@ -108,6 +108,7 @@ void hop(des::Kernel& kernel, int n, int at, double end) {
 struct ConfigResult {
   std::string exec;  // "sequential" | "threaded" | "threaded_legacy"
   des::SyncMode sync = des::SyncMode::GlobalWindow;
+  des::KernelTuning tuning;
   double wall_time = 0;  // best-of-replicas seconds
   double events_per_sec = 0;
   std::uint64_t events = 0;
@@ -125,6 +126,7 @@ ConfigResult run_ring(int n, des::SyncMode sync, des::ExecutionMode exec,
   ConfigResult r;
   r.exec = label;
   r.sync = sync;
+  r.tuning = tuning;
   const int replicas = bench::replica_count();
   for (int rep = 0; rep < replicas; ++rep) {
     des::Kernel kernel(n, kRingLa);
@@ -237,6 +239,9 @@ void write_json(std::ostream& out, const std::vector<RingResult>& all,
                 bool gate_enforced, const std::string& gate_reason) {
   out << "{\n  \"benchmark\": \"bench_wallclock\",\n"
       << "  \"context\": " << bench::context_json(8, "  ") << ",\n"
+      // Tuning varies per config (tuned vs legacy) and is recorded on each
+      // entry below; the rings inject no faults.
+      << "  \"fault_seed\": 0,\n"
       << "  \"headline\": \"tuned threaded events/sec vs sequential and vs "
          "legacy threaded baseline\",\n"
       << "  \"gate\": {\"throughput_enforced\": "
@@ -267,6 +272,7 @@ void write_json(std::ostream& out, const std::vector<RingResult>& all,
           << ", \"channel_advances\": " << r.channel_advances
           << ", \"handoff_runs\": " << r.handoff_runs
           << ", \"parks\": " << r.parks
+          << ", \"tuning\": " << bench::tuning_json(r.tuning)
           << ", \"history_hash\": \"" << r.history_hash << "\"}"
           << (c + 1 < ring.configs.size() ? "," : "") << "\n";
     }

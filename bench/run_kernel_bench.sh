@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Record the kernel microbenchmark to BENCH_kernel.json.
 #
 #   BUILD_DIR=build-release OUT=BENCH_kernel.json REPS=5 ./bench/run_kernel_bench.sh
@@ -8,7 +8,7 @@
 # and only then runs the benchmark. Writes google-benchmark JSON aggregates
 # (median over REPS repetitions); items_per_second is the events/sec
 # figure. Run on an idle machine — threaded benchmarks measure real time.
-set -eu
+set -euo pipefail
 
 BUILD_DIR="${BUILD_DIR:-build-release}"
 OUT="${OUT:-BENCH_kernel.json}"
@@ -22,6 +22,10 @@ if ! grep -q '^CMAKE_BUILD_TYPE:[A-Z]*=Release$' "$BUILD_DIR/CMakeCache.txt"; th
   exit 1
 fi
 cmake --build "$BUILD_DIR" --target bench_micro_kernel -j >/dev/null
+
+# A benchmark failure must both propagate its exit code (set -e) and leave
+# no half-written .tmp behind; the committed JSON is mv'd before exit.
+trap 'rm -f "$OUT".tmp' EXIT
 
 "$BIN" \
   --benchmark_repetitions="$REPS" \

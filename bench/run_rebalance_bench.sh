@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Record the adaptive-rebalance ablation to BENCH_rebalance.json.
 #
 #   BUILD_DIR=build-release OUT=BENCH_rebalance.json ./bench/run_rebalance_bench.sh
@@ -9,7 +9,7 @@
 # binary exits non-zero unless the adaptive run migrated at least once and
 # reduced the modeled max/mean engine-load imbalance vs static PROFILE on
 # both the post-drift segment and the whole run.
-set -eu
+set -euo pipefail
 
 BUILD_DIR="${BUILD_DIR:-build-release}"
 OUT="${OUT:-BENCH_rebalance.json}"
@@ -22,4 +22,5 @@ if ! grep -q '^CMAKE_BUILD_TYPE:[A-Z]*=Release$' "$BUILD_DIR/CMakeCache.txt"; th
 fi
 cmake --build "$BUILD_DIR" --target bench_ablation_rebalance -j >/dev/null
 
+# exec propagates the benchmark binary's exit code to the caller verbatim.
 exec "$BUILD_DIR/bench/bench_ablation_rebalance" "$OUT"

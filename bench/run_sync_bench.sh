@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Record the sync-protocol A/B benchmark to BENCH_sync.json.
 #
 #   BUILD_DIR=build-release OUT=BENCH_sync.json ./bench/run_sync_bench.sh
@@ -8,7 +8,7 @@
 # the cache really says Release, then runs bench_micro_sync. The binary
 # exits non-zero unless the history hash is identical across all four
 # (sync x exec) configs and the dumbbell modeled speedup is >= 1.5.
-set -eu
+set -euo pipefail
 
 BUILD_DIR="${BUILD_DIR:-build-release}"
 OUT="${OUT:-BENCH_sync.json}"
@@ -21,4 +21,5 @@ if ! grep -q '^CMAKE_BUILD_TYPE:[A-Z]*=Release$' "$BUILD_DIR/CMakeCache.txt"; th
 fi
 cmake --build "$BUILD_DIR" --target bench_micro_sync -j >/dev/null
 
+# exec propagates the benchmark binary's exit code to the caller verbatim.
 exec "$BUILD_DIR/bench/bench_micro_sync" "$OUT"

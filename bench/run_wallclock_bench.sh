@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Record the wall-clock events/sec benchmark to BENCH_wallclock.json.
 #
 #   BUILD_DIR=build-release OUT=BENCH_wallclock.json ./bench/run_wallclock_bench.sh
@@ -11,7 +11,7 @@
 # tuned threaded execution reaches >= 1.0x sequential events/sec and
 # >= 2.0x the legacy threaded baseline at rings of >= 4 LPs.
 # MASSF_WALLCLOCK_SCALE scales the simulated horizon (CI smoke: 0.25).
-set -eu
+set -euo pipefail
 
 BUILD_DIR="${BUILD_DIR:-build-release}"
 OUT="${OUT:-BENCH_wallclock.json}"
@@ -24,4 +24,5 @@ if ! grep -q '^CMAKE_BUILD_TYPE:[A-Z]*=Release$' "$BUILD_DIR/CMakeCache.txt"; th
 fi
 cmake --build "$BUILD_DIR" --target bench_wallclock -j >/dev/null
 
+# exec propagates the benchmark binary's exit code to the caller verbatim.
 exec "$BUILD_DIR/bench/bench_wallclock" "$OUT"

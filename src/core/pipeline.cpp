@@ -1,8 +1,11 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <iomanip>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 #include "graph/algorithms.hpp"
 #include "util/error.hpp"
@@ -192,6 +195,11 @@ RunMetrics Experiment::collect(emu::Emulator& emulator) const {
   metrics.migration_bytes = rb.migration_bytes;
   metrics.events_rehomed = rb.events_rehomed;
   metrics.rebalance_epoch = rb.epoch;
+  metrics.exec_mode = setup_.mode;
+  metrics.tuning = setup_.emulator.tuning;
+  metrics.fault_seed =
+      setup_.faults != nullptr ? setup_.faults->plan_seed() : 0;
+  metrics.history_hash = ks.history_hash;
   return metrics;
 }
 
@@ -213,6 +221,105 @@ RunMetrics Experiment::run(const MappingResult& mapping,
   emulator.run(horizon_, setup_.mode);
   if (record != nullptr) *record = recorder->finish();
   RunMetrics metrics = collect(emulator);
+  metrics.pair_lookaheads = mapping.pair_lookaheads;
+  return metrics;
+}
+
+SuperviseResult Experiment::run_supervised(
+    const MappingResult& mapping, const SuperviseOptions& options) const {
+  MASSF_REQUIRE(!options.ckpt_dir.empty(),
+                "run_supervised needs a checkpoint directory");
+  MASSF_REQUIRE(options.max_attempts >= 1, "need at least one attempt");
+  SuperviseResult result;
+  for (int attempt = 1;; ++attempt) {
+    result.attempts = attempt;
+    try {
+      result.metrics = supervised_attempt(mapping, options, result);
+      return result;
+    } catch (const std::exception& error) {
+      if (attempt >= options.max_attempts) throw;
+      MASSF_LOG_WARN << "supervised run attempt " << attempt << "/"
+                     << options.max_attempts << " failed: " << error.what()
+                     << "; retrying from the latest valid snapshot";
+      if (options.retry_backoff_s > 0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            options.retry_backoff_s * attempt));
+    }
+  }
+}
+
+RunMetrics Experiment::supervised_attempt(const MappingResult& mapping,
+                                          const SuperviseOptions& options,
+                                          SuperviseResult& result) const {
+  MASSF_REQUIRE(mapping.engines == setup_.engines,
+                "mapping was computed for a different engine count");
+  // Restore mutates the emulator before validation can finish, so every
+  // restore candidate gets a freshly built one; a rejected snapshot cannot
+  // leak partial state into the attempt.
+  const auto build = [&] {
+    auto emulator = std::make_unique<emu::Emulator>(
+        *setup_.network, *setup_.routes, mapping.node_engine, setup_.engines,
+        setup_.emulator);
+    emulator->set_fault_timeline(setup_.faults);
+    setup_.workload->install(*emulator);
+    if (emulator_hook_) emulator_hook_(*emulator, horizon_);
+    return emulator;
+  };
+
+  std::unique_ptr<emu::Emulator> emulator = build();
+  std::int64_t restored_seq = -1;
+  const auto snapshots = ckpt::list_checkpoints(options.ckpt_dir);
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    try {
+      ckpt::Reader reader = ckpt::Reader::from_file(it->second);
+      emulator->restore(reader, options.load_extra);
+      restored_seq = static_cast<std::int64_t>(it->first);
+      break;
+    } catch (const ckpt::CkptError& error) {
+      MASSF_LOG_WARN << "snapshot " << it->second << " rejected: "
+                     << error.what() << "; falling back to an older one";
+      emulator = build();
+    }
+  }
+  result.restored_from = restored_seq;
+
+  emu::CheckpointConfig cfg;
+  cfg.dir = options.ckpt_dir;
+  cfg.period_s = options.checkpoint_period_s;
+  cfg.first_s = options.first_checkpoint_s;
+  cfg.keep = options.keep;
+  cfg.first_seq = static_cast<std::uint64_t>(restored_seq + 1);
+  cfg.save_extra = options.save_extra;
+  cfg.on_checkpoint = [&result](std::uint64_t, const std::string&) {
+    ++result.checkpoints_written;
+  };
+  emulator->set_checkpoint_schedule(cfg, horizon_);
+
+  if (options.watchdog_timeout_s > 0) {
+    // Cooperative watchdog: every safepoint is a heartbeat. A stall is
+    // detected at the next safepoint after it resolves — or never, if the
+    // run hangs forever, in which case an external process supervisor is
+    // the backstop (documented in README "Supervised runs").
+    auto last_beat = std::make_shared<std::chrono::steady_clock::time_point>(
+        std::chrono::steady_clock::now());
+    const double budget_s = options.watchdog_timeout_s;
+    emulator->set_pre_safepoint_hook([last_beat, budget_s](des::SimTime t) {
+      const auto now = std::chrono::steady_clock::now();
+      const double waited =
+          std::chrono::duration<double>(now - *last_beat).count();
+      *last_beat = now;
+      if (waited > budget_s) {
+        std::ostringstream message;
+        message << "watchdog: " << waited << " s of wall time between "
+                << "safepoint heartbeats (budget " << budget_s
+                << " s) at sim time " << t;
+        throw WatchdogTimeout(message.str());
+      }
+    });
+  }
+
+  emulator->run(horizon_, setup_.mode);
+  RunMetrics metrics = collect(*emulator);
   metrics.pair_lookaheads = mapping.pair_lookaheads;
   return metrics;
 }

@@ -93,6 +93,18 @@ struct RunMetrics {
   double migration_bytes = 0;
   std::uint64_t events_rehomed = 0;
   std::uint64_t rebalance_epoch = 0;
+  // ---- Run configuration provenance (so a metrics record alone identifies
+  //      the exact run: mode, tuning, and the fault plan's RNG seed) -------
+  /// Kernel execution mode the run used.
+  des::ExecutionMode exec_mode = des::ExecutionMode::Sequential;
+  /// Kernel wall-clock tuning knobs the run used.
+  des::KernelTuning tuning{};
+  /// Seed of the random fault plan behind the run's fault timeline (0 when
+  /// the run had no fault timeline or a hand-built plan).
+  std::uint64_t fault_seed = 0;
+  /// Kernel event-history hash — the bit-identity fingerprint crash
+  /// recovery is verified against.
+  std::uint64_t history_hash = 0;
 
   /// Load imbalance per time bucket (Figure 8's series).
   std::vector<double> imbalance_series() const;
@@ -102,6 +114,52 @@ struct RunMetrics {
 /// per-pair lookaheads) next to sync behaviour (windows vs channel
 /// advances, idle jumps, throttled channels) and the headline metrics.
 std::string summarize(const MappingResult& mapping, const RunMetrics& metrics);
+
+/// Thrown by the supervised-run watchdog when the wall time between two
+/// safepoint heartbeats exceeds the configured budget — the run is declared
+/// hung and the retry loop restarts it from the latest valid snapshot.
+class WatchdogTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Configuration for Experiment::run_supervised (DESIGN.md §12).
+struct SuperviseOptions {
+  /// Snapshot directory (created if missing). Required.
+  std::string ckpt_dir;
+  /// Simulated seconds between snapshots.
+  double checkpoint_period_s = 5.0;
+  /// First snapshot time; 0 = one period in.
+  double first_checkpoint_s = 0;
+  /// Snapshots retained on disk.
+  int keep = 2;
+  /// Abort an attempt when the wall time between safepoint heartbeats
+  /// exceeds this (seconds); 0 disables the watchdog. Detection is
+  /// cooperative — it triggers at the next safepoint after a stall, so
+  /// give it headroom over the expected inter-safepoint wall time.
+  double watchdog_timeout_s = 0;
+  /// Total attempts (first run + retries) before giving up; the final
+  /// failure is rethrown to the caller.
+  int max_attempts = 3;
+  /// Wall-clock pause between attempts (simple fixed backoff).
+  double retry_backoff_s = 0;
+  /// Extra state appended to / restored from each snapshot (e.g. a
+  /// rebalance::Controller's save_state / load_state).
+  std::function<void(ckpt::Writer&)> save_extra;
+  std::function<void(ckpt::Reader&)> load_extra;
+};
+
+/// Outcome of a supervised run.
+struct SuperviseResult {
+  RunMetrics metrics;
+  /// Attempts consumed (1 = no retries needed).
+  int attempts = 0;
+  /// Snapshot sequence number the successful attempt resumed from, or -1
+  /// when it started fresh.
+  std::int64_t restored_from = -1;
+  /// Snapshots durably committed across all attempts.
+  std::uint64_t checkpoints_written = 0;
+};
 
 class Experiment {
  public:
@@ -124,6 +182,15 @@ class Experiment {
   RunMetrics replay(const emu::Trace& trace,
                     const MappingResult& mapping) const;
 
+  /// Crash-resilient run: periodic checkpoints at the configured cadence, a
+  /// cooperative watchdog on safepoint heartbeats, and retry-with-backoff
+  /// from the latest valid snapshot when an attempt dies (corrupt snapshots
+  /// are rejected and older ones tried; a fresh start is the last resort).
+  /// The recovered run's history_hash is bit-identical to an uninterrupted
+  /// run of the same configuration.
+  SuperviseResult run_supervised(const MappingResult& mapping,
+                                 const SuperviseOptions& options) const;
+
   /// Metrics of the cached profiling run (after map(Profile)).
   const std::optional<RunMetrics>& profiling_metrics() const {
     return profiling_metrics_;
@@ -144,6 +211,9 @@ class Experiment {
  private:
   RunMetrics collect(emu::Emulator& emulator) const;
   void ensure_profile();
+  RunMetrics supervised_attempt(const MappingResult& mapping,
+                                const SuperviseOptions& options,
+                                SuperviseResult& result) const;
 
   ExperimentSetup setup_;
   Mapper mapper_;

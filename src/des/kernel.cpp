@@ -10,6 +10,7 @@
 #include <thread>
 #include <type_traits>
 
+#include "ckpt/ckpt.hpp"
 #include "util/spinwait.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -46,6 +47,13 @@ std::uint64_t time_bits(SimTime t) {
 // Threaded mode is race-free; Sequential mode uses the caller's thread.
 thread_local int tl_current_lp = -1;
 thread_local SimTime tl_now = 0;
+
+// Section tags for the checkpoint payload (ckpt::Reader::expect_tag turns
+// layout drift into an actionable error instead of garbage fields).
+constexpr std::uint32_t kTagKernel = 0x6b726e6c;    // "krnl"
+constexpr std::uint32_t kTagChannels = 0x6b636873;  // "kchs"
+constexpr std::uint32_t kTagLp = 0x6b6c7073;        // "klps"
+constexpr std::uint32_t kTagKernelEnd = 0x6b656e64; // "kend"
 
 /// First-exception box shared by the worker threads of a run. `failed` is
 /// the lock-free flag the hot loops poll; the exception itself travels
@@ -291,6 +299,28 @@ struct Kernel::Impl {
 
   std::int32_t channel_index(std::size_t src, std::size_t dst) const {
     return channel_of[src * lps.size() + dst];
+  }
+
+  /// Drop the whole channel graph so restore_checkpoint can rebuild it from
+  /// the snapshot (registration order and per-channel stats included).
+  /// Pre-run only: setup-time channels hold no events, so the sweep frees
+  /// just the stub/recycled nodes.
+  void clear_channels() {
+    for (auto& ch : channels) {
+      auto sweep = [](Channel::RunNode* node) {
+        while (node != nullptr) {
+          Channel::RunNode* next = node->next.load(std::memory_order_relaxed);
+          for (Event& e : node->events) delete e.cb;  // massf-lint: allow(raw-new)
+          delete node;  // massf-lint: allow(raw-new)
+          node = next;
+        }
+      };
+      sweep(ch->tail);
+      sweep(ch->recycled.load(std::memory_order_relaxed));
+      sweep(ch->free_cache);
+    }
+    channels.clear();
+    channel_of.assign(lps.size() * lps.size(), -1);
   }
 
   Channel& ensure_channel(int src, int dst, double la) {
@@ -820,6 +850,231 @@ std::uint64_t Kernel::events_executed(int lp) const {
   return impl_->lps[static_cast<std::size_t>(lp)].events;
 }
 
+// ---- Checkpoint / restore -------------------------------------------------
+
+void Kernel::save_checkpoint(
+    ckpt::Writer& w,
+    const std::function<void(ckpt::Writer&, const PacketEvent&)>& save_payload)
+    const {
+  MASSF_REQUIRE(in_safepoint_,
+                "save_checkpoint may only be called from a safepoint hook — "
+                "the quiescent pause is what makes the kernel state well "
+                "defined");
+  MASSF_REQUIRE(save_payload, "packet payload serializer must be callable");
+
+  // Quiescence audit. The safepoint protocol guarantees all of this (see
+  // drain_all_channels and the run_sequential loop structure); a violation
+  // here means pending events would be silently dropped from the snapshot.
+  for (const Impl::Lp& lp : impl_->lps) {
+    MASSF_CHECK(lp.dirty_dsts.empty() && lp.pending_sources.empty(),
+                "safepoint quiescence violated: staged cross-LP routing");
+    for (const Impl::Outbox& box : lp.outbox)
+      MASSF_CHECK(box.events.empty(),
+                  "safepoint quiescence violated: non-empty outbox slot");
+  }
+  for (const auto& ch : impl_->channels)
+    MASSF_CHECK(ch->tail->next.load(std::memory_order_acquire) == nullptr,
+                "safepoint quiescence violated: undrained channel run");
+
+  w.tag(kTagKernel);
+  w.u32(static_cast<std::uint32_t>(lp_count_));
+  w.u8(static_cast<std::uint8_t>(sync_mode_));
+  w.f64(cost_.per_event);
+  w.f64(cost_.per_remote_message);
+  w.f64(cost_.per_window_sync);
+  w.f64(lookahead_);
+  w.f64(stats_.bucket_width);
+  w.f64(sim_position_);
+  w.f64(now());  // the safepoint time — the restored run resumes here
+
+  // Live aggregate counters. GlobalWindow charges the safepoint rendezvous
+  // *after* the hook returns (fire_global_safepoint), and the restored run
+  // skips this safepoint entirely, so the charge is folded into the
+  // snapshot here. Channel mode recomputes both times in
+  // finalize_channel_run from counters that are all saved below.
+  double modeled = stats_.modeled_time;
+  double coupled = stats_.coupled_time;
+  if (sync_mode_ == SyncMode::GlobalWindow) {
+    modeled += cost_.per_window_sync;
+    coupled += cost_.per_window_sync;
+  }
+  w.u64(stats_.windows);
+  w.u64(stats_.safepoints);  // already counts the in-progress safepoint
+  w.u64(stats_.idle_jumps);
+  w.u64(stats_.events_rehomed);
+  w.f64(modeled);
+  w.f64(coupled);
+
+  w.tag(kTagChannels);
+  w.u64(impl_->channels.size());
+  for (const auto& ch : impl_->channels) {
+    w.u32(ch->src);
+    w.u32(ch->dst);
+    w.f64(ch->lookahead);
+    w.u64(ch->delivered);
+    w.u64(ch->throttled);
+    w.f64(ch->max_lag);
+  }
+
+  for (const Impl::Lp& lp : impl_->lps) {
+    w.tag(kTagLp);
+    w.u64(lp.seq_counter);
+    w.u64(lp.events);
+    w.f64(lp.busy_total);
+    // GlobalWindow: the drain phase already charged receive costs for the
+    // next window into window_busy; they must survive the restore.
+    w.f64(lp.window_busy);
+    w.u64(lp.remote_sent);
+    w.u64(lp.remote_received);
+    w.u64(lp.history);
+    w.f64(lp.max_time);
+    w.u64(lp.advances);
+    w.f64(lp.idle_wait);
+    w.u64(lp.handoff_runs);
+    w.u64(lp.parks);
+    w.u64(lp.series.size());
+    for (double bucket : lp.series) w.f64(bucket);
+
+    // Pending events in ascending (t, origin, seq) order — the canonical
+    // pop order, independent of the queue's current heap/sorted layout.
+    std::vector<Impl::Event> pending = lp.queue.v;
+    std::sort(pending.begin(), pending.end(),
+              [](const Impl::Event& a, const Impl::Event& b) {
+                return Impl::EventLater{}(b, a);
+              });
+    w.u64(pending.size());
+    for (const Impl::Event& e : pending) {
+      MASSF_REQUIRE(
+          e.cb == nullptr,
+          "cannot checkpoint a pending callback event (origin LP "
+              << e.origin << ", t=" << e.t
+              << "): closures are not serializable — schedule application "
+                 "work through typed control packets (AppApi::set_timer) "
+                 "instead of raw Kernel::schedule/AppApi::after");
+      w.f64(e.t);
+      w.u32(e.origin);
+      w.u64(e.seq);
+      w.i64(e.packet.node);
+      save_payload(w, e.packet);
+    }
+  }
+  w.tag(kTagKernelEnd);
+}
+
+void Kernel::restore_checkpoint(
+    ckpt::Reader& r,
+    const std::function<void*(ckpt::Reader&)>& load_payload,
+    const std::function<void(void*)>& drop_payload) {
+  MASSF_REQUIRE(!ran_, "restore_checkpoint must run before run_until");
+  MASSF_REQUIRE(load_payload && drop_payload,
+                "payload load/drop functions must be callable");
+
+  r.expect_tag(kTagKernel, "kernel section");
+  const auto lp_count = r.u32();
+  MASSF_REQUIRE(lp_count == static_cast<std::uint32_t>(lp_count_),
+                "checkpoint was taken with "
+                    << lp_count << " engines but this kernel has " << lp_count_
+                    << " — rebuild with the same engine count before "
+                       "restoring");
+  const auto mode = r.u8();
+  MASSF_REQUIRE(mode == static_cast<std::uint8_t>(sync_mode_),
+                "checkpoint was taken under sync mode "
+                    << to_string(static_cast<SyncMode>(mode))
+                    << " but this kernel is configured for "
+                    << to_string(sync_mode_)
+                    << " — modeled-time continuity requires the same "
+                       "protocol");
+  const double per_event = r.f64();
+  const double per_remote = r.f64();
+  const double per_window = r.f64();
+  MASSF_REQUIRE(per_event == cost_.per_event &&
+                    per_remote == cost_.per_remote_message &&
+                    per_window == cost_.per_window_sync,
+                "checkpointed cost model differs from this kernel's — "
+                "modeled-time continuity would break");
+  const double la = r.f64();
+  MASSF_REQUIRE(std::isfinite(la) && la > 0 && la <= lookahead_,
+                "checkpointed global lookahead "
+                    << la << " is not a valid lowering of the current "
+                    << lookahead_);
+  lookahead_ = la;
+  stats_.bucket_width = r.f64();
+  sim_position_ = r.f64();
+  resume_time_ = r.f64();
+  stats_.windows = r.u64();
+  stats_.safepoints = r.u64();
+  stats_.idle_jumps = r.u64();
+  stats_.events_rehomed = r.u64();
+  stats_.modeled_time = r.f64();
+  stats_.coupled_time = r.f64();
+
+  // Discard the setup population: the caller rebuilt the emulator from
+  // scratch, so every event scheduled so far (endpoint starts, epoch
+  // boundaries) is superseded by the checkpointed queues.
+  for (Impl::Lp& lp : impl_->lps) {
+    for (Impl::Event& e : lp.queue.v) {
+      if (e.cb != nullptr)
+        delete e.cb;  // massf-lint: allow(raw-new)
+      else if (e.packet.payload != nullptr)
+        drop_payload(e.packet.payload);
+    }
+    lp.queue.v.clear();
+    lp.queue.sorted = false;
+  }
+
+  r.expect_tag(kTagChannels, "channel section");
+  impl_->clear_channels();
+  const std::uint64_t channel_count = r.u64();
+  for (std::uint64_t c = 0; c < channel_count; ++c) {
+    const auto src = r.u32();
+    const auto dst = r.u32();
+    const double ch_la = r.f64();
+    MASSF_REQUIRE(src < lp_count && dst < lp_count && src != dst,
+                  "checkpointed channel endpoints out of range");
+    Impl::Channel& ch = impl_->ensure_channel(
+        static_cast<int>(src), static_cast<int>(dst), ch_la);
+    ch.delivered = r.u64();
+    ch.throttled = r.u64();
+    ch.max_lag = r.f64();
+  }
+
+  for (Impl::Lp& lp : impl_->lps) {
+    r.expect_tag(kTagLp, "per-engine section");
+    lp.seq_counter = r.u64();
+    lp.events = r.u64();
+    lp.busy_total = r.f64();
+    lp.window_busy = r.f64();
+    lp.remote_sent = r.u64();
+    lp.remote_received = r.u64();
+    lp.history = r.u64();
+    lp.max_time = r.f64();
+    lp.advances = r.u64();
+    lp.idle_wait = r.f64();
+    lp.handoff_runs = r.u64();
+    lp.parks = r.u64();
+    lp.series.assign(r.u64(), 0.0);
+    for (double& bucket : lp.series) bucket = r.f64();
+
+    const std::uint64_t pending = r.u64();
+    lp.queue.v.reserve(pending);
+    for (std::uint64_t n = 0; n < pending; ++n) {
+      Impl::Event e;
+      e.t = r.f64();
+      e.origin = r.u32();
+      e.seq = r.u64();
+      e.packet.node = static_cast<std::int32_t>(r.i64());
+      e.packet.payload = load_payload(r);
+      e.cb = nullptr;
+      lp.queue.v.push_back(e);
+    }
+    // Saved ascending; the sorted representation pops descending arrays
+    // from the back, so a reverse hands the queue back in O(1)-pop form.
+    std::reverse(lp.queue.v.begin(), lp.queue.v.end());
+    lp.queue.sorted = !lp.queue.v.empty();
+  }
+  r.expect_tag(kTagKernelEnd, "kernel trailer");
+}
+
 void Kernel::run_until(SimTime end_time, ExecutionMode mode) {
   MASSF_REQUIRE(!ran_, "run_until may only be called once");
   MASSF_REQUIRE(end_time > 0, "end time must be positive");
@@ -834,6 +1089,12 @@ void Kernel::run_until(SimTime end_time, ExecutionMode mode) {
   std::sort(safepoints_.begin(), safepoints_.end());
   safepoints_.erase(std::unique(safepoints_.begin(), safepoints_.end()),
                     safepoints_.end());
+  // A restored kernel resumes mid-schedule: safepoints at or before the
+  // checkpoint time (including the one the snapshot was taken at) already
+  // fired in the original run.
+  while (next_sp_ < safepoints_.size() &&
+         safepoints_[next_sp_] <= resume_time_)
+    ++next_sp_;
 
   // Pre-reserve the load series from the run horizon (capped) so the
   // per-event bucket append never reallocates mid-run.

@@ -58,6 +58,11 @@
 
 #include "util/error.hpp"
 
+namespace massf::ckpt {
+class Writer;
+class Reader;
+}  // namespace massf::ckpt
+
 namespace massf::des {
 
 using SimTime = double;
@@ -384,6 +389,45 @@ class Kernel {
   /// the load monitor samples it at safepoints.
   std::uint64_t events_executed(int lp) const;
 
+  // ---- Checkpoint / restore ---------------------------------------------
+  //
+  // A checkpoint captures the complete kernel run state at a safepoint —
+  // per-LP event queues (packet events only), counters, history-hash
+  // streams, load series, the channel graph with its per-channel stats, and
+  // the live aggregate counters — such that a freshly built kernel restored
+  // from it and run to the same end_time produces a bit-identical
+  // history_hash to the uninterrupted run. The safepoint quiescence
+  // protocol guarantees (and save_checkpoint verifies) that outboxes,
+  // dirty-sender lists and channel mailboxes are all empty, so LP queues
+  // are provably the whole pending-event set. See DESIGN.md §12.
+
+  /// Serialize the kernel run state into `w`. Hook-only (the quiescent
+  /// single-threaded pause is what makes the state well defined).
+  /// `save_payload` serializes one PacketEvent payload (the emulator writes
+  /// the pool-owned Packet record). Pending Callback events are rejected
+  /// with an actionable error — closures cannot be serialized; emulator-
+  /// internal control flow uses typed control packets instead.
+  void save_checkpoint(
+      ckpt::Writer& w,
+      const std::function<void(ckpt::Writer&, const PacketEvent&)>&
+          save_payload) const;
+
+  /// Restore state saved by save_checkpoint into this kernel. Must be
+  /// called before run_until, on a kernel built with the same lp_count,
+  /// sync mode and cost model; every event already scheduled (setup
+  /// population) is discarded first — `drop_payload` disposes their packet
+  /// payloads — and `load_payload` reconstructs each checkpointed payload.
+  /// Safepoints registered at or before the checkpoint time are skipped by
+  /// the subsequent run_until (they already fired in the original run).
+  void restore_checkpoint(
+      ckpt::Reader& r,
+      const std::function<void*(ckpt::Reader&)>& load_payload,
+      const std::function<void(void*)>& drop_payload);
+
+  /// Simulation time of the checkpoint this kernel was restored from
+  /// (0 when the kernel started fresh).
+  SimTime resume_time() const { return resume_time_; }
+
   /// Execute until no events remain with time < end_time. May be called
   /// once.
   void run_until(SimTime end_time,
@@ -425,6 +469,7 @@ class Kernel {
   KernelTuning tuning_;
   std::vector<SimTime> safepoints_;  // sorted + deduped at run_until
   std::size_t next_sp_ = 0;          // index of the next unfired safepoint
+  SimTime resume_time_ = 0;          // checkpoint time restored from (0 = fresh)
   SafepointHook safepoint_hook_;
   std::unique_ptr<Impl> impl_;
 };

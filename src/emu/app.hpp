@@ -47,8 +47,16 @@ class AppApi {
   std::uint64_t send_reliable(NodeId dst, double bytes, int tag = 0);
 
   /// Model a compute phase: run `fn` on this host after `delay` seconds of
-  /// simulated computation.
+  /// simulated computation. Closure-based and therefore NOT serializable: a
+  /// checkpoint taken while such an event is pending is rejected with an
+  /// actionable error. Checkpoint-safe endpoints use set_timer instead.
   void after(double delay, std::function<void()> fn);
+
+  /// Checkpoint-safe compute phase: after `delay` seconds of simulated
+  /// computation, the endpoint's on_timer(api, tag) upcall runs on this
+  /// host. The pending timer is a typed control event, so it survives
+  /// checkpoint/restore bit-identically.
+  void set_timer(double delay, std::int64_t tag = 0);
 
   Emulator& emulator() { return emulator_; }
 
@@ -71,6 +79,22 @@ class AppEndpoint {
     (void)api;
     (void)message;
   }
+
+  /// Invoked when a timer armed with AppApi::set_timer expires.
+  virtual void on_timer(AppApi& api, std::int64_t tag) {
+    (void)api;
+    (void)tag;
+  }
+
+  /// Checkpoint support: serialize this endpoint's mutable state as opaque
+  /// 64-bit words (doubles bit-cast, counters widened). load_state receives
+  /// exactly the words save_state produced. Endpoints with no mutable state
+  /// may keep the defaults; stateful endpoints must override both or their
+  /// restored runs diverge.
+  virtual void save_state(std::vector<std::uint64_t>& out) const {
+    (void)out;
+  }
+  virtual void load_state(const std::vector<std::uint64_t>& in) { (void)in; }
 };
 
 }  // namespace massf::emu

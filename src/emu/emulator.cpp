@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <limits>
+#include <utility>
 
 #include "emu/trace.hpp"
 #include "util/rng.hpp"
@@ -21,6 +23,11 @@ std::uint64_t flow_id(NodeId src, NodeId dst, int tag) {
 constexpr std::uint64_t kIcmpFlowBase = 0xfeedface00000000ULL;
 constexpr std::uint64_t kAckFlowBase = 0xacced00000000000ULL;
 
+// Snapshot section tags (see src/ckpt/ and DESIGN.md §12).
+constexpr std::uint32_t kTagSnapshot = 0x736e6170;  // "snap"
+constexpr std::uint32_t kTagEmu = 0x656d7573;       // "emus"
+constexpr std::uint32_t kTagEmuEnd = 0x656d7565;    // "emue"
+
 }  // namespace
 
 SimTime AppApi::now() const { return emulator_.kernel().now(); }
@@ -36,6 +43,11 @@ std::uint64_t AppApi::send_reliable(NodeId dst, double bytes, int tag) {
 void AppApi::after(double delay, std::function<void()> fn) {
   MASSF_REQUIRE(delay >= 0, "compute delay must be non-negative");
   emulator_.schedule_on_host(host_, now() + delay, std::move(fn));
+}
+
+void AppApi::set_timer(double delay, std::int64_t tag) {
+  MASSF_REQUIRE(delay >= 0, "timer delay must be non-negative");
+  emulator_.schedule_timer(host_, now() + delay, tag);
 }
 
 Emulator::Emulator(const topology::Network& network,
@@ -140,16 +152,32 @@ void Emulator::install_endpoint(NodeId host,
   MASSF_REQUIRE(state.endpoint == nullptr,
                 "host " << host << " already has an endpoint");
   state.endpoint = std::move(endpoint);
-  AppEndpoint* raw = state.endpoint.get();
-  kernel_->schedule(engine_of(host), start_at, [this, host, raw] {
-    AppApi api(*this, host);
-    raw->start(api);
-  }, /*key=*/host);
+  // Typed control event (not a closure) so a pending start survives a
+  // checkpoint; keyed by host so it follows the host if it migrates.
+  Packet* start = make_control(PacketKind::CtrlStart, host, 0);
+  kernel_->schedule_packet(engine_of(host), start_at, {start, host});
 }
 
 void Emulator::schedule_on_host(NodeId host, SimTime t, des::Callback fn) {
   // Keyed by host so a pending callback follows the host if it migrates.
   kernel_->schedule(engine_of(host), t, std::move(fn), /*key=*/host);
+}
+
+Packet* Emulator::make_control(PacketKind kind, NodeId host,
+                               std::uint64_t id) {
+  Packet* p = pool_.acquire(pool_shard());
+  p->kind = kind;
+  p->dst = host;
+  p->probe_id = id;
+  return p;
+}
+
+void Emulator::schedule_timer(NodeId host, SimTime at, std::int64_t tag) {
+  MASSF_REQUIRE(host >= 0 && host < network_.node_count(),
+                "host out of range");
+  Packet* timer =
+      make_control(PacketKind::CtrlTimer, host, static_cast<std::uint64_t>(tag));
+  kernel_->schedule_packet(engine_of(host), at, {timer, host});
 }
 
 void Emulator::inject_trains(NodeId src, NodeId dst, double bytes, int tag,
@@ -232,11 +260,11 @@ std::uint64_t Emulator::send_reliable(NodeId src, NodeId dst, double bytes,
   sender.pending.emplace(message_id,
                          PendingReliable{dst, bytes, tag, at, /*attempts=*/1});
   inject_trains(src, dst, bytes, tag, message_id, at, /*reliable=*/true, at);
-  kernel_->schedule(engine_of(src), at + config_.reliable.base_timeout_s,
-                    [this, src, message_id] {
-                      reliable_timeout(src, message_id);
-                    },
-                    /*key=*/src);
+  Packet* timeout =
+      make_control(PacketKind::CtrlReliableTimeout, src, message_id);
+  kernel_->schedule_packet(engine_of(src),
+                           at + config_.reliable.base_timeout_s,
+                           {timeout, src});
   return message_id;
 }
 
@@ -258,9 +286,9 @@ void Emulator::reliable_timeout(NodeId src, std::uint64_t message_id) {
                 /*reliable=*/true, now);
   const double timeout = config_.reliable.base_timeout_s *
                          std::pow(config_.reliable.backoff, p.attempts - 1);
-  kernel_->schedule(engine_of(src), now + timeout, [this, src, message_id] {
-    reliable_timeout(src, message_id);
-  }, /*key=*/src);
+  Packet* rearm = make_control(PacketKind::CtrlReliableTimeout, src,
+                               message_id);
+  kernel_->schedule_packet(engine_of(src), now + timeout, {rearm, src});
 }
 
 void Emulator::set_fault_timeline(const fault::FaultTimeline* timeline) {
@@ -278,10 +306,14 @@ void Emulator::set_fault_timeline(const fault::FaultTimeline* timeline) {
       EpochCounters{});
   // Every epoch boundary becomes a kernel event on every engine: faults are
   // observed inside the simulation (identically in Sequential and Threaded
-  // modes), and an engine crosses the boundary even when idle.
+  // modes), and an engine crosses the boundary even when idle. Control
+  // packets with node key -1 (never migrates — the boundary belongs to the
+  // engine, not any virtual node) so pending boundaries serialize at a
+  // checkpoint.
   for (const double t : timeline->boundaries()) {
     for (int lp = 0; lp < engines_; ++lp) {
-      kernel_->schedule(lp, t, [this] { (void)epoch_for(kernel_->now()); });
+      Packet* boundary = make_control(PacketKind::CtrlEpoch, -1, 0);
+      kernel_->schedule_packet(lp, t, {boundary, -1});
     }
   }
 }
@@ -322,7 +354,47 @@ int Emulator::pool_shard() const {
 }
 
 void Emulator::on_packet_event(const des::PacketEvent& event) {
-  arrive(event.node, static_cast<Packet*>(event.payload));
+  Packet* packet = static_cast<Packet*>(event.payload);
+  if (is_control(packet->kind)) {
+    // Copy, release, then dispatch: the handler may acquire from the same
+    // shard (re-armed timers, injected trains) and immediately reuse the
+    // slot, keeping the pool's high-water mark at the packet-hop level.
+    const Packet control = *packet;
+    pool_.release(pool_shard(), packet);
+    handle_control(control);
+    return;
+  }
+  arrive(event.node, packet);
+}
+
+void Emulator::handle_control(const Packet& packet) {
+  switch (packet.kind) {
+    case PacketKind::CtrlStart: {
+      HostState& state = host_state_[static_cast<std::size_t>(packet.dst)];
+      if (state.endpoint != nullptr) {
+        AppApi api(*this, packet.dst);
+        state.endpoint->start(api);
+      }
+      break;
+    }
+    case PacketKind::CtrlTimer: {
+      HostState& state = host_state_[static_cast<std::size_t>(packet.dst)];
+      if (state.endpoint != nullptr) {
+        AppApi api(*this, packet.dst);
+        state.endpoint->on_timer(api,
+                                 static_cast<std::int64_t>(packet.probe_id));
+      }
+      break;
+    }
+    case PacketKind::CtrlReliableTimeout:
+      reliable_timeout(packet.dst, packet.probe_id);
+      break;
+    case PacketKind::CtrlEpoch:
+      (void)epoch_for(kernel_->now());
+      break;
+    default:
+      MASSF_CHECK(false, "non-control packet dispatched to handle_control");
+  }
 }
 
 void Emulator::arrive(NodeId at, Packet* packet) {
@@ -529,6 +601,14 @@ void Emulator::deliver(NodeId at, const Packet& packet, SimTime t) {
     case PacketKind::IcmpUnreachable:
       if (icmp_handler_) icmp_handler_(packet, t);
       break;
+    case PacketKind::CtrlStart:
+    case PacketKind::CtrlTimer:
+    case PacketKind::CtrlReliableTimeout:
+    case PacketKind::CtrlEpoch:
+      // Control events dispatch via handle_control() and never touch the
+      // wire, so they cannot arrive at deliver().
+      MASSF_CHECK(false, "control event reached packet delivery");
+      break;
   }
 }
 
@@ -539,7 +619,12 @@ void Emulator::add_rebalance_safepoint(SimTime t) {
 
 void Emulator::set_rebalance_hook(std::function<void(SimTime)> hook) {
   MASSF_REQUIRE(!ran_, "set the rebalance hook before run()");
-  kernel_->set_safepoint_hook(std::move(hook));
+  rebalance_hook_ = std::move(hook);
+}
+
+void Emulator::set_pre_safepoint_hook(std::function<void(SimTime)> hook) {
+  MASSF_REQUIRE(!ran_, "set the pre-safepoint hook before run()");
+  pre_safepoint_hook_ = std::move(hook);
 }
 
 double Emulator::serialize_host_state(NodeId node) const {
@@ -627,9 +712,334 @@ int Emulator::migrate_nodes(const std::vector<int>& new_node_engine) {
 
 void Emulator::run(SimTime until, des::ExecutionMode mode) {
   MASSF_REQUIRE(!ran_, "run() may only be called once");
+  if (pre_safepoint_hook_ || rebalance_hook_ || ckpt_enabled_) {
+    kernel_->set_safepoint_hook([this](SimTime t) {
+      if (pre_safepoint_hook_) pre_safepoint_hook_(t);
+      if (rebalance_hook_) rebalance_hook_(t);
+      if (ckpt_enabled_) {
+        bool due = false;
+        while (ckpt_cursor_ < ckpt_times_.size() &&
+               ckpt_times_[ckpt_cursor_] <= t) {
+          due = true;
+          ++ckpt_cursor_;
+        }
+        if (due) write_checkpoint(t);
+      }
+    });
+  }
   ran_ = true;
   run_until_ = until;
+  // A restored run resumes past snapshot instants the original already
+  // wrote; skip them so numbering and cadence continue seamlessly.
+  while (ckpt_cursor_ < ckpt_times_.size() &&
+         ckpt_times_[ckpt_cursor_] <= kernel_->resume_time())
+    ++ckpt_cursor_;
   kernel_->run_until(until, mode);
+}
+
+void Emulator::set_checkpoint_schedule(const CheckpointConfig& cfg,
+                                       SimTime horizon) {
+  MASSF_REQUIRE(!ran_, "set the checkpoint schedule before run()");
+  MASSF_REQUIRE(!cfg.dir.empty(), "checkpoint directory must be set");
+  MASSF_REQUIRE(cfg.period_s > 0, "checkpoint period must be positive");
+  MASSF_REQUIRE(cfg.first_s >= 0, "first checkpoint time must be >= 0");
+  MASSF_REQUIRE(cfg.keep >= 1, "must keep at least one snapshot");
+  MASSF_REQUIRE(horizon > 0, "run horizon must be positive");
+  ckpt_cfg_ = cfg;
+  ckpt_enabled_ = true;
+  ckpt_seq_ = cfg.first_seq;
+  ckpt_times_.clear();
+  ckpt_cursor_ = 0;
+  const double first = cfg.first_s > 0 ? cfg.first_s : cfg.period_s;
+  for (double t = first; t < horizon; t += cfg.period_s) {
+    ckpt_times_.push_back(t);
+    kernel_->add_safepoint(t);
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(cfg.dir, ec);
+  MASSF_REQUIRE(!ec, "cannot create checkpoint directory '"
+                         << cfg.dir << "': " << ec.message());
+}
+
+void Emulator::write_checkpoint(SimTime t) {
+  ckpt::maybe_crash("before-checkpoint");
+  ckpt::Writer w;
+  w.tag(kTagSnapshot);
+  w.f64(t);
+  checkpoint(w);
+  if (ckpt_cfg_.save_extra) {
+    w.u8(1);
+    ckpt_cfg_.save_extra(w);
+  } else {
+    w.u8(0);
+  }
+  const std::uint64_t seq = ckpt_seq_++;
+  const std::string path =
+      ckpt_cfg_.dir + "/" + ckpt::checkpoint_filename(seq);
+  w.commit(path);  // fsync + rename; the mid-write crash hook fires inside
+  ++ckpt_written_;
+  const auto snapshots = ckpt::list_checkpoints(ckpt_cfg_.dir);
+  if (snapshots.size() > static_cast<std::size_t>(ckpt_cfg_.keep)) {
+    const std::size_t drop =
+        snapshots.size() - static_cast<std::size_t>(ckpt_cfg_.keep);
+    for (std::size_t i = 0; i < drop; ++i) {
+      std::error_code ec;
+      std::filesystem::remove(snapshots[i].second, ec);  // prune best-effort
+    }
+  }
+  if (ckpt_cfg_.on_checkpoint) ckpt_cfg_.on_checkpoint(seq, path);
+  ckpt::maybe_crash("after-checkpoint");
+}
+
+void Emulator::save_packet(ckpt::Writer& w, const Packet* packet) const {
+  if (packet == nullptr) {
+    w.u8(0);
+    return;
+  }
+  w.u8(1);
+  w.i64(packet->src);
+  w.i64(packet->dst);
+  w.f64(packet->bytes);
+  w.i64(packet->packets);
+  w.i64(packet->ttl);
+  w.u8(static_cast<std::uint8_t>(packet->kind));
+  w.u8(packet->has_message ? 1 : 0);
+  w.u64(packet->flow);
+  w.u64(packet->probe_id);
+  w.i64(packet->reporter);
+  w.i64(packet->via);
+  if (packet->has_message) {
+    const AppMessage& m = packet->message;
+    w.i64(m.src);
+    w.i64(m.dst);
+    w.f64(m.bytes);
+    w.i64(m.tag);
+    w.u64(m.id);
+    w.f64(m.sent_at);
+    w.f64(m.delivered_at);
+    w.u8(m.reliable ? 1 : 0);
+  }
+}
+
+Packet* Emulator::load_packet(ckpt::Reader& r) {
+  if (r.u8() == 0) return nullptr;
+  Packet* p = pool_.acquire(/*shard=*/0);  // restore is single-threaded setup
+  p->src = static_cast<NodeId>(r.i64());
+  p->dst = static_cast<NodeId>(r.i64());
+  p->bytes = r.f64();
+  p->packets = static_cast<int>(r.i64());
+  p->ttl = static_cast<int>(r.i64());
+  const std::uint8_t kind = r.u8();
+  MASSF_REQUIRE(kind <= static_cast<std::uint8_t>(PacketKind::CtrlEpoch),
+                "snapshot carries an unknown packet kind ("
+                    << static_cast<int>(kind)
+                    << ") — it was written by an incompatible build");
+  p->kind = static_cast<PacketKind>(kind);
+  p->has_message = r.u8() != 0;
+  p->flow = r.u64();
+  p->probe_id = r.u64();
+  p->reporter = static_cast<NodeId>(r.i64());
+  p->via = static_cast<LinkId>(r.i64());
+  if (p->has_message) {
+    AppMessage& m = p->message;
+    m.src = static_cast<NodeId>(r.i64());
+    m.dst = static_cast<NodeId>(r.i64());
+    m.bytes = r.f64();
+    m.tag = static_cast<int>(r.i64());
+    m.id = r.u64();
+    m.sent_at = r.f64();
+    m.delivered_at = r.f64();
+    m.reliable = r.u8() != 0;
+  }
+  return p;
+}
+
+void Emulator::checkpoint(ckpt::Writer& w) const {
+  MASSF_REQUIRE(kernel_->in_safepoint(),
+                "checkpoint() may only run inside a safepoint hook");
+  w.tag(kTagEmu);
+  w.u64(static_cast<std::uint64_t>(network_.node_count()));
+  w.u64(static_cast<std::uint64_t>(engines_));
+  w.f64(lookahead_);
+  for (int e : node_engine_) w.i64(e);
+  for (const HostState& s : host_state_) {
+    w.u64(s.message_counter);
+    w.u64(s.trains_injected);
+    w.u64(s.trains_delivered);
+    w.u64(s.trains_dropped_fault);
+    w.u64(s.trains_dropped_unreachable);
+    w.u64(s.trains_expired);
+    w.u64(s.icmp_unreachable_sent);
+    w.u64(s.messages_sent);
+    w.u64(s.messages_delivered);
+    w.u64(s.reliable_sent);
+    w.u64(s.reliable_delivered);
+    w.u64(s.reliable_acked);
+    w.u64(s.reliable_failed);
+    w.u64(s.retransmissions);
+    w.u64(s.duplicate_deliveries);
+    w.f64(s.bytes_delivered);
+    w.u8(s.endpoint != nullptr ? 1 : 0);
+    if (s.endpoint != nullptr) {
+      std::vector<std::uint64_t> words;
+      s.endpoint->save_state(words);
+      w.u64(words.size());
+      for (std::uint64_t word : words) w.u64(word);
+    }
+    // Hash-ordered containers are serialized sorted by key so the byte
+    // stream is identical across processes (DESIGN.md §9 determinism rule).
+    std::vector<std::pair<std::uint64_t, PendingReliable>> pending(
+        s.pending.begin(), s.pending.end());
+    std::sort(pending.begin(), pending.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.u64(pending.size());
+    for (const auto& [id, rec] : pending) {
+      w.u64(id);
+      w.i64(rec.dst);
+      w.f64(rec.bytes);
+      w.i64(rec.tag);
+      w.f64(rec.first_sent);
+      w.i64(rec.attempts);
+    }
+    std::vector<std::uint64_t> seen(s.reliable_seen.begin(),
+                                    s.reliable_seen.end());
+    std::sort(seen.begin(), seen.end());
+    w.u64(seen.size());
+    for (std::uint64_t id : seen) w.u64(id);
+  }
+  for (double v : link_next_free_) w.f64(v);
+  for (std::uint64_t v : link_drops_) w.u64(v);
+  w.u64(epoch_cursor_.size());
+  for (const EpochCursor& c : epoch_cursor_)
+    w.u64(static_cast<std::uint64_t>(c.epoch));
+  w.u64(epoch_slots_.size());
+  for (const EpochCounters& slot : epoch_slots_) {
+    w.u64(slot.dropped_fault);
+    w.u64(slot.dropped_unreachable);
+    w.u64(slot.icmp_unreachable);
+    w.u64(slot.retransmissions);
+    w.u64(slot.recovered);
+    w.f64(slot.max_recovery_s);
+  }
+  w.u64(rebalance_stats_.rebalances);
+  w.u64(rebalance_stats_.nodes_migrated);
+  w.f64(rebalance_stats_.migration_bytes);
+  w.u64(rebalance_stats_.events_rehomed);
+  w.u64(rebalance_stats_.epoch);
+  w.u8(netflow_ != nullptr ? 1 : 0);
+  if (netflow_ != nullptr) netflow_->save(w);
+  kernel_->save_checkpoint(
+      w, [this](ckpt::Writer& ww, const des::PacketEvent& e) {
+        save_packet(ww, static_cast<const Packet*>(e.payload));
+      });
+  w.tag(kTagEmuEnd);
+}
+
+SimTime Emulator::restore(
+    ckpt::Reader& r, const std::function<void(ckpt::Reader&)>& load_extra) {
+  MASSF_REQUIRE(!ran_, "restore() must run before run()");
+  r.expect_tag(kTagSnapshot, "snapshot header");
+  const SimTime t = r.f64();
+  r.expect_tag(kTagEmu, "emulator section");
+  MASSF_REQUIRE(
+      r.u64() == static_cast<std::uint64_t>(network_.node_count()),
+      "snapshot node count does not match this network — rebuild the "
+      "emulator against the checkpointed topology before restoring");
+  MASSF_REQUIRE(r.u64() == static_cast<std::uint64_t>(engines_),
+                "snapshot engine count does not match — rebuild the emulator "
+                "with the same engine count before restoring");
+  lookahead_ = r.f64();
+  for (int& e : node_engine_) {
+    const std::int64_t v = r.i64();
+    MASSF_REQUIRE(v >= 0 && v < engines_,
+                  "snapshot node→engine assignment is corrupt");
+    e = static_cast<int>(v);
+  }
+  for (HostState& s : host_state_) {
+    s.message_counter = r.u64();
+    s.trains_injected = r.u64();
+    s.trains_delivered = r.u64();
+    s.trains_dropped_fault = r.u64();
+    s.trains_dropped_unreachable = r.u64();
+    s.trains_expired = r.u64();
+    s.icmp_unreachable_sent = r.u64();
+    s.messages_sent = r.u64();
+    s.messages_delivered = r.u64();
+    s.reliable_sent = r.u64();
+    s.reliable_delivered = r.u64();
+    s.reliable_acked = r.u64();
+    s.reliable_failed = r.u64();
+    s.retransmissions = r.u64();
+    s.duplicate_deliveries = r.u64();
+    s.bytes_delivered = r.f64();
+    const bool had_endpoint = r.u8() != 0;
+    MASSF_REQUIRE(had_endpoint == (s.endpoint != nullptr),
+                  "snapshot endpoint installation does not match — install "
+                  "the same workload on the rebuilt emulator before "
+                  "restoring");
+    if (had_endpoint) {
+      std::vector<std::uint64_t> words(r.u64());
+      for (std::uint64_t& word : words) word = r.u64();
+      s.endpoint->load_state(words);
+    }
+    s.pending.clear();
+    const std::uint64_t pending_count = r.u64();
+    for (std::uint64_t i = 0; i < pending_count; ++i) {
+      const std::uint64_t id = r.u64();
+      PendingReliable rec;
+      rec.dst = static_cast<NodeId>(r.i64());
+      rec.bytes = r.f64();
+      rec.tag = static_cast<int>(r.i64());
+      rec.first_sent = r.f64();
+      rec.attempts = static_cast<int>(r.i64());
+      s.pending.emplace(id, rec);
+    }
+    s.reliable_seen.clear();
+    const std::uint64_t seen_count = r.u64();
+    for (std::uint64_t i = 0; i < seen_count; ++i)
+      s.reliable_seen.insert(r.u64());
+  }
+  for (double& v : link_next_free_) v = r.f64();
+  for (std::uint64_t& v : link_drops_) v = r.u64();
+  MASSF_REQUIRE(r.u64() == epoch_cursor_.size(),
+                "snapshot epoch cursors do not match this engine count");
+  for (EpochCursor& c : epoch_cursor_)
+    c.epoch = static_cast<std::size_t>(r.u64());
+  MASSF_REQUIRE(
+      r.u64() == epoch_slots_.size(),
+      "snapshot fault-epoch table does not match — attach the same fault "
+      "timeline before restoring");
+  for (EpochCounters& slot : epoch_slots_) {
+    slot.dropped_fault = r.u64();
+    slot.dropped_unreachable = r.u64();
+    slot.icmp_unreachable = r.u64();
+    slot.retransmissions = r.u64();
+    slot.recovered = r.u64();
+    slot.max_recovery_s = r.f64();
+  }
+  rebalance_stats_.rebalances = r.u64();
+  rebalance_stats_.nodes_migrated = r.u64();
+  rebalance_stats_.migration_bytes = r.f64();
+  rebalance_stats_.events_rehomed = r.u64();
+  rebalance_stats_.epoch = r.u64();
+  const bool had_netflow = r.u8() != 0;
+  MASSF_REQUIRE(had_netflow == (netflow_ != nullptr),
+                "snapshot NetFlow collection does not match the config — "
+                "rebuild the emulator with collect_netflow set identically");
+  if (had_netflow) netflow_->load(r);
+  kernel_->restore_checkpoint(
+      r, [this](ckpt::Reader& rr) -> void* { return load_packet(rr); },
+      [this](void* payload) {
+        pool_.release(/*shard=*/0, static_cast<Packet*>(payload));
+      });
+  r.expect_tag(kTagEmuEnd, "emulator trailer");
+  if (r.u8() != 0) {
+    MASSF_REQUIRE(static_cast<bool>(load_extra),
+                  "snapshot carries a save_extra section but no load_extra "
+                  "was supplied to restore()");
+    load_extra(r);
+  }
+  return t;
 }
 
 const NetFlowCollector& Emulator::netflow() const {

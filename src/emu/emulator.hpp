@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "ckpt/ckpt.hpp"
 #include "des/kernel.hpp"
 #include "emu/app.hpp"
 #include "emu/netflow.hpp"
@@ -129,6 +130,31 @@ struct RebalanceStats {
   std::uint64_t events_rehomed = 0;
   /// Current rebalance epoch (0 before any migration).
   std::uint64_t epoch = 0;
+};
+
+/// Periodic checkpointing schedule (Emulator::set_checkpoint_schedule).
+/// Snapshots are written at safepoints — globally quiescent pauses — via
+/// the atomic write-rename protocol in src/ckpt/, and pruned so at most
+/// `keep` recent snapshots remain on disk.
+struct CheckpointConfig {
+  /// Directory snapshots are written into (created if missing).
+  std::string dir;
+  /// Simulated seconds between snapshots.
+  double period_s = 5.0;
+  /// Time of the first snapshot; 0 = one period in.
+  double first_s = 0;
+  /// Snapshots retained on disk (older ones are pruned after each commit).
+  int keep = 2;
+  /// Sequence number of the first snapshot this run writes (a restored run
+  /// continues the numbering of the run it resumed).
+  std::uint64_t first_seq = 0;
+  /// Appended to every snapshot after the emulator state — the supervisor
+  /// uses it for rebalance controller state. Must be paired with the
+  /// matching load_extra at restore.
+  std::function<void(ckpt::Writer&)> save_extra;
+  /// Observability: invoked after each snapshot is durably committed.
+  std::function<void(std::uint64_t seq, const std::string& path)>
+      on_checkpoint;
 };
 
 /// Fault/recovery counters for one routing epoch (see epoch_stats()).
@@ -257,6 +283,49 @@ class Emulator : private des::EventSink {
   bool collects_netflow() const { return netflow_ != nullptr; }
   const RebalanceStats& rebalance_stats() const { return rebalance_stats_; }
 
+  // ---- Checkpoint / restore ----------------------------------------------
+  //
+  // A snapshot captures the complete run state — kernel event queues
+  // (pending trains and control events), per-host application and
+  // reliable-delivery state, endpoint state words, fault-epoch cursors and
+  // counters, the current node→engine assignment, NetFlow records, and
+  // rebalance counters — such that a freshly constructed Emulator (same
+  // network, workload installation, fault timeline, and *initial* mapping)
+  // restored from it and run to the same horizon produces a bit-identical
+  // history_hash to the uninterrupted run, across both sync protocols and
+  // both execution modes. See DESIGN.md §12.
+
+  /// Arrange periodic snapshots: safepoints at first_s, first_s + period_s,
+  /// ... below `horizon`; at each, the run state is serialized and
+  /// committed to cfg.dir with the atomic write-rename protocol. Call
+  /// before run(). Composes with rebalance safepoints — when both fire at
+  /// the same instant, the rebalance hook runs first so the snapshot
+  /// captures the post-migration state.
+  void set_checkpoint_schedule(const CheckpointConfig& cfg, SimTime horizon);
+
+  /// Snapshots committed by this run so far.
+  std::uint64_t checkpoints_written() const { return ckpt_written_; }
+
+  /// Serialize the full run state into `w`. Safepoint-hook-only (the
+  /// schedule above calls it automatically; exposed for tests and custom
+  /// supervisors).
+  void checkpoint(ckpt::Writer& w) const;
+
+  /// Restore a snapshot produced by checkpoint() into this emulator. Must
+  /// run before run(), on an emulator rebuilt exactly like the original
+  /// (same network/routes/initial mapping/config, same endpoints installed,
+  /// same fault timeline and trace setup); setup-time events are discarded
+  /// in favour of the snapshot's queues. `load_extra` consumes the
+  /// save_extra section if the snapshot carries one. Returns the snapshot's
+  /// simulation time; the subsequent run() resumes from there.
+  SimTime restore(ckpt::Reader& r,
+                  const std::function<void(ckpt::Reader&)>& load_extra = {});
+
+  /// Hook invoked first at every safepoint, before the rebalance hook and
+  /// any checkpoint write (the supervisor's watchdog heartbeat). Set before
+  /// run().
+  void set_pre_safepoint_hook(std::function<void(SimTime)> hook);
+
   // ---- Execution ---------------------------------------------------------
 
   /// Run the emulation until no event earlier than `until` remains.
@@ -286,8 +355,13 @@ class Emulator : private des::EventSink {
 
   /// Schedule arbitrary work on a host's engine (used by AppApi::after and
   /// the replayer). At setup time any host is allowed; during execution the
-  /// host must live on the executing engine.
+  /// host must live on the executing engine. Closure-based — a checkpoint
+  /// cannot serialize it (see AppApi::set_timer for the serializable form).
   void schedule_on_host(NodeId host, SimTime t, des::Callback fn);
+
+  /// Arm a serializable timer: the endpoint on `host` gets on_timer(api,
+  /// tag) at time `at`. Same call-site rules as schedule_on_host.
+  void schedule_timer(NodeId host, SimTime at, std::int64_t tag);
 
  private:
   friend class AppApi;
@@ -350,8 +424,23 @@ class Emulator : private des::EventSink {
     double max_recovery_s = 0;
   };
 
-  /// EventSink hook: dispatches the hop to arrive().
+  /// EventSink hook: dispatches control events to handle_control() and
+  /// packet hops to arrive().
   void on_packet_event(const des::PacketEvent& event) override;
+
+  /// Execute one emulator-internal control event (PacketKind::Ctrl*).
+  void handle_control(const Packet& packet);
+
+  /// Acquire a pool packet shaped as a control event.
+  Packet* make_control(PacketKind kind, NodeId host, std::uint64_t id);
+
+  /// Serialize / reconstruct one pool-owned Packet payload (the kernel's
+  /// save_payload / load_payload callbacks).
+  void save_packet(ckpt::Writer& w, const Packet* packet) const;
+  Packet* load_packet(ckpt::Reader& r);
+
+  /// Write one snapshot (safepoint hook context) and prune old ones.
+  void write_checkpoint(SimTime t);
 
   /// Kernel event: a packet train arrives at (or is injected on) a node.
   /// Takes ownership of the pool-backed packet.
@@ -410,6 +499,17 @@ class Emulator : private des::EventSink {
   RebalanceStats rebalance_stats_;
   SimTime run_until_ = 0;
   bool ran_ = false;
+  // Safepoint hook chain (run() installs one kernel hook that runs these in
+  // order: pre hook, rebalance hook, checkpoint write).
+  std::function<void(SimTime)> pre_safepoint_hook_;
+  std::function<void(SimTime)> rebalance_hook_;
+  // Checkpoint schedule state.
+  CheckpointConfig ckpt_cfg_;
+  bool ckpt_enabled_ = false;
+  std::vector<SimTime> ckpt_times_;  // ascending snapshot instants
+  std::size_t ckpt_cursor_ = 0;      // next unwritten snapshot instant
+  std::uint64_t ckpt_seq_ = 0;       // sequence number of the next snapshot
+  std::uint64_t ckpt_written_ = 0;
 };
 
 }  // namespace massf::emu

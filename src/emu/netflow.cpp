@@ -78,4 +78,61 @@ double NetFlowCollector::total_node_packets() const {
   return total;
 }
 
+namespace {
+constexpr std::uint32_t kTagNetflow = 0x6e666c77;  // "nflw"
+}  // namespace
+
+void NetFlowCollector::save(ckpt::Writer& w) const {
+  w.tag(kTagNetflow);
+  w.f64(bucket_width_);
+  w.u64(node_packets_.size());
+  for (double p : node_packets_) w.f64(p);
+  w.u64(link_packets_by_dir_.size());
+  for (double p : link_packets_by_dir_) w.f64(p);
+  for (const auto& row : node_buckets_) {
+    w.u64(row.size());
+    for (double b : row) w.f64(b);
+  }
+  // std::map iterates in key order, so the record stream is deterministic.
+  for (const auto& records : node_flow_records_) {
+    w.u64(records.size());
+    for (const auto& [flow, record] : records) {
+      w.u64(record.flow);
+      w.f64(record.packets);
+      w.f64(record.bytes);
+      w.f64(record.first_seen);
+      w.f64(record.last_seen);
+    }
+  }
+}
+
+void NetFlowCollector::load(ckpt::Reader& r) {
+  r.expect_tag(kTagNetflow, "NetFlow section");
+  bucket_width_ = r.f64();
+  MASSF_REQUIRE(r.u64() == node_packets_.size() && bucket_width_ > 0,
+                "checkpointed NetFlow dimensions do not match this network — "
+                "rebuild the emulator against the checkpointed topology");
+  for (double& p : node_packets_) p = r.f64();
+  MASSF_REQUIRE(r.u64() == link_packets_by_dir_.size(),
+                "checkpointed NetFlow link table does not match this network");
+  for (double& p : link_packets_by_dir_) p = r.f64();
+  for (auto& row : node_buckets_) {
+    row.assign(r.u64(), 0.0);
+    for (double& b : row) b = r.f64();
+  }
+  for (auto& records : node_flow_records_) {
+    records.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      FlowRecord record;
+      record.flow = r.u64();
+      record.packets = r.f64();
+      record.bytes = r.f64();
+      record.first_seen = r.f64();
+      record.last_seen = r.f64();
+      records.emplace(record.flow, record);
+    }
+  }
+}
+
 }  // namespace massf::emu

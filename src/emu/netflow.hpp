@@ -17,6 +17,7 @@
 #include <map>
 #include <vector>
 
+#include "ckpt/ckpt.hpp"
 #include "emu/packet.hpp"
 
 namespace massf::emu {
@@ -69,6 +70,11 @@ class NetFlowCollector {
 
   /// Sum of packets over all node records (for conservation tests).
   double total_node_packets() const;
+
+  /// Checkpoint support: serialize / restore the full collector state.
+  /// load() requires a collector constructed with the same dimensions.
+  void save(ckpt::Writer& w) const;
+  void load(ckpt::Reader& r);
 
  private:
   double bucket_width_;

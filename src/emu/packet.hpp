@@ -47,7 +47,23 @@ enum class PacketKind : std::uint8_t {
   IcmpEchoReply,    // probe reached its destination
   IcmpTtlExceeded,  // router report: TTL expired here
   IcmpUnreachable,  // router report: destination unreachable in this epoch
+  // Control kinds (>= CtrlStart): emulator-internal events that never touch
+  // the wire — no arrive()/NetFlow/fault processing, just a typed dispatch
+  // on the owning engine. They replace the closure events the emulator used
+  // to schedule so that pending work is serializable at a checkpoint
+  // (closures cannot be written to disk; POD packets can). `dst` is the
+  // host the control event belongs to; `probe_id` carries the timer tag or
+  // reliable message id.
+  CtrlStart,            // endpoint start upcall (dst = host)
+  CtrlTimer,            // AppApi::set_timer expiry (dst = host, probe_id = tag)
+  CtrlReliableTimeout,  // retransmit check (dst = sender, probe_id = msg id)
+  CtrlEpoch,            // fault-epoch boundary observation (engine-pinned)
 };
+
+/// True for the emulator-internal control kinds above.
+inline bool is_control(PacketKind kind) {
+  return kind >= PacketKind::CtrlStart;
+}
 
 /// One packet train traversing the virtual network. Plain data — delivery
 /// of the last train of an application message is described by the embedded

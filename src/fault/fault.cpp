@@ -115,6 +115,7 @@ FaultPlan FaultPlan::random(const Network& network,
 
   Rng rng(mix_seed(params.seed, 0x8fau));
   FaultPlan plan;
+  plan.seed_ = params.seed;
 
   // Track repair time per resource so outages on one resource never
   // overlap: overlapping set-state events would silently merge and the
@@ -166,6 +167,7 @@ FaultTimeline::FaultTimeline(const Network& network, const FaultPlan& plan) {
   plan.validate(network);
   node_count_ = network.node_count();
   link_count_ = network.link_count();
+  plan_seed_ = plan.seed();
 
   const std::vector<FaultEvent> events = plan.events();
 

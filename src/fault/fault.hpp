@@ -94,8 +94,14 @@ class FaultPlan {
   static FaultPlan random(const Network& network,
                           const RandomFaultParams& params);
 
+  /// The RNG seed a random() plan was generated from; 0 for authored plans.
+  /// Recorded into RunMetrics / bench JSON so any run — including one
+  /// restored from a checkpoint — is reproducible from its metrics alone.
+  std::uint64_t seed() const { return seed_; }
+
  private:
   std::vector<FaultEvent> events_;
+  std::uint64_t seed_ = 0;
 };
 
 /// The compiled form the emulator executes: the plan's events grouped by
@@ -140,9 +146,13 @@ class FaultTimeline {
   NodeId node_count() const { return node_count_; }
   LinkId link_count() const { return link_count_; }
 
+  /// Passthrough of FaultPlan::seed() for the compiled timeline.
+  std::uint64_t plan_seed() const { return plan_seed_; }
+
  private:
   NodeId node_count_ = 0;
   LinkId link_count_ = 0;
+  std::uint64_t plan_seed_ = 0;
   std::vector<Epoch> epochs_;
   std::vector<double> boundaries_;
 };

@@ -14,6 +14,7 @@
 #include <deque>
 #include <vector>
 
+#include "ckpt/ckpt.hpp"
 #include "des/kernel.hpp"
 
 namespace massf::emu {
@@ -64,6 +65,11 @@ class LoadMonitor {
 
   /// Total kernel event rate (events/s) over the window.
   double observed_event_rate() const;
+
+  /// Checkpoint support: serialize / restore the sliding sample window so a
+  /// restored run's rebalance decisions match the uninterrupted run's.
+  void save(ckpt::Writer& w) const;
+  void load(ckpt::Reader& r);
 
   /// Last published imbalance, readable from any thread (a progress gauge
   /// for dashboards/benches while worker threads are running; the hook

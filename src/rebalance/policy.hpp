@@ -83,6 +83,14 @@ class RebalancePolicy {
 
   int streak() const { return streak_; }
 
+  /// Checkpoint support: the hysteresis/cooldown state a restored run needs
+  /// to reproduce the uninterrupted run's gate-1 decisions.
+  double last_migration() const { return last_migration_; }
+  void restore_state(int streak, double last_migration) {
+    streak_ = streak;
+    last_migration_ = last_migration;
+  }
+
  private:
   PolicyConfig config_;
   int streak_ = 0;

@@ -23,13 +23,33 @@ class CbrSender : public emu::AppEndpoint {
 
   void start(emu::AppApi& api) override {
     for (std::size_t i = 0; i < flows_.size(); ++i)
-      arm(api.emulator(), api.self(), i, /*first=*/true);
+      arm(api, i, /*first=*/true);
+  }
+
+  /// Timer tag = flow index; each firing sends one message and re-arms.
+  void on_timer(emu::AppApi& api, std::int64_t tag) override {
+    if (api.now() >= duration_) return;
+    const auto index = static_cast<std::size_t>(tag);
+    const CbrFlowSpec& flow = flows_[index];
+    if (reliable_)
+      api.send_reliable(flow.dst, flow.message_bytes, kTagCbr);
+    else
+      api.send(flow.dst, flow.message_bytes, kTagCbr);
+    arm(api, index, /*first=*/false);
+  }
+
+  void save_state(std::vector<std::uint64_t>& out) const override {
+    for (std::uint64_t word : rng_.state()) out.push_back(word);
+  }
+
+  void load_state(const std::vector<std::uint64_t>& in) override {
+    MASSF_REQUIRE(in.size() == 4,
+                  "CBR sender snapshot state must be 4 RNG words");
+    rng_.set_state({in[0], in[1], in[2], in[3]});
   }
 
  private:
-  void arm(emu::Emulator& emulator, NodeId self, std::size_t index,
-           bool first) {
-    emu::AppApi api(emulator, self);
+  void arm(emu::AppApi& api, std::size_t index, bool first) {
     const CbrFlowSpec& flow = flows_[index];
     double gap = flow.interval_s;
     if (flow.jitter > 0)
@@ -37,16 +57,7 @@ class CbrSender : public emu::AppEndpoint {
             flow.jitter * rng_.next_exponential(flow.interval_s);
     if (first)  // start offset plus desynchronization
       gap = flow.start_s + rng_.next_double(0, flow.interval_s);
-    api.after(gap, [this, &emulator, self, index] {
-      emu::AppApi api(emulator, self);
-      if (api.now() >= duration_) return;
-      const CbrFlowSpec& flow = flows_[index];
-      if (reliable_)
-        api.send_reliable(flow.dst, flow.message_bytes, kTagCbr);
-      else
-        api.send(flow.dst, flow.message_bytes, kTagCbr);
-      arm(emulator, self, index, /*first=*/false);
-    });
+    api.set_timer(gap, static_cast<std::int64_t>(index));
   }
 
   std::vector<CbrFlowSpec> flows_;

@@ -86,32 +86,53 @@ class WorkflowEndpoint : public emu::AppEndpoint {
       fire(api, task_index);
   }
 
+  /// Timer tag = task index: the task's compute phase finished.
+  void on_timer(emu::AppApi& api, std::int64_t tag) override {
+    const WorkflowTask& task =
+        state_->graph.tasks[static_cast<std::size_t>(tag)];
+    for (const auto& [succ, bytes] : task.outputs) {
+      const WorkflowTask& successor =
+          state_->graph.tasks[static_cast<std::size_t>(succ)];
+      if (successor.host == host_) {
+        // Co-located tasks hand data over in memory — no network traffic;
+        // the input still counts.
+        if (++state_->arrived[static_cast<std::size_t>(succ)] ==
+            successor.inputs_required)
+          fire(api, succ);
+      } else if (state_->reliable) {
+        api.send_reliable(successor.host, bytes, succ);
+      } else {
+        api.send(successor.host, bytes, succ);
+      }
+    }
+  }
+
+  /// Each endpoint owns the arrived-input counts of its host's tasks (the
+  /// shared RunState is partitioned by host, matching the race-freedom
+  /// rule), so together the endpoints serialize the whole workflow state.
+  void save_state(std::vector<std::uint64_t>& out) const override {
+    for (std::size_t t = 0; t < state_->graph.tasks.size(); ++t)
+      if (state_->graph.tasks[t].host == host_)
+        out.push_back(static_cast<std::uint64_t>(state_->arrived[t]));
+  }
+
+  void load_state(const std::vector<std::uint64_t>& in) override {
+    std::size_t i = 0;
+    for (std::size_t t = 0; t < state_->graph.tasks.size(); ++t)
+      if (state_->graph.tasks[t].host == host_) {
+        MASSF_REQUIRE(i < in.size(), "workflow snapshot state truncated");
+        state_->arrived[t] = static_cast<int>(in[i++]);
+      }
+    MASSF_REQUIRE(i == in.size(),
+                  "workflow snapshot state has extra words — the snapshot "
+                  "was taken with a different task graph");
+  }
+
  private:
   void fire(emu::AppApi& api, int task_index) {
-    const WorkflowTask& task =
-        state_->graph.tasks[static_cast<std::size_t>(task_index)];
-    auto& emulator = api.emulator();
-    const NodeId self = api.self();
-    api.after(task.compute_s, [this, &emulator, self, task_index] {
-      emu::AppApi api(emulator, self);
-      const WorkflowTask& task =
-          state_->graph.tasks[static_cast<std::size_t>(task_index)];
-      for (const auto& [succ, bytes] : task.outputs) {
-        const WorkflowTask& successor =
-            state_->graph.tasks[static_cast<std::size_t>(succ)];
-        if (successor.host == host_) {
-          // Co-located tasks hand data over in memory — no network
-          // traffic; the input still counts.
-          if (++state_->arrived[static_cast<std::size_t>(succ)] ==
-              successor.inputs_required)
-            fire(api, succ);
-        } else if (state_->reliable) {
-          api.send_reliable(successor.host, bytes, succ);
-        } else {
-          api.send(successor.host, bytes, succ);
-        }
-      }
-    });
+    api.set_timer(
+        state_->graph.tasks[static_cast<std::size_t>(task_index)].compute_s,
+        task_index);
   }
 
   std::shared_ptr<RunState> state_;

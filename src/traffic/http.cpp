@@ -40,15 +40,27 @@ class HttpClient : public emu::AppEndpoint {
     arm(api, session, rng_.next_exponential(params_.think_time_s));
   }
 
+  /// Timer tag = session index: the think time elapsed, issue the GET.
+  void on_timer(emu::AppApi& api, std::int64_t tag) override {
+    if (api.now() >= params_.duration_s) return;
+    const auto session = static_cast<std::size_t>(tag);
+    api.send(servers_[session], params_.get_bytes,
+             kTagGet + static_cast<int>(session));
+  }
+
+  void save_state(std::vector<std::uint64_t>& out) const override {
+    for (std::uint64_t word : rng_.state()) out.push_back(word);
+  }
+
+  void load_state(const std::vector<std::uint64_t>& in) override {
+    MASSF_REQUIRE(in.size() == 4,
+                  "HTTP client snapshot state must be 4 RNG words");
+    rng_.set_state({in[0], in[1], in[2], in[3]});
+  }
+
  private:
   void arm(emu::AppApi& api, std::size_t session, double delay) {
-    api.after(delay, [this, &emulator = api.emulator(), self = api.self(),
-                      session] {
-      emu::AppApi api(emulator, self);
-      if (api.now() >= params_.duration_s) return;
-      api.send(servers_[session], params_.get_bytes,
-               kTagGet + static_cast<int>(session));
-    });
+    api.set_timer(delay, static_cast<std::int64_t>(session));
   }
 
   std::vector<NodeId> servers_;
@@ -73,6 +85,16 @@ class HttpServer : public emu::AppEndpoint {
     // Cap the tail so one flow cannot dominate an entire run.
     bytes = std::min(bytes, 50.0 * params_.request_size_bytes);
     api.send(message.src, bytes, kTagResponse + session);
+  }
+
+  void save_state(std::vector<std::uint64_t>& out) const override {
+    for (std::uint64_t word : rng_.state()) out.push_back(word);
+  }
+
+  void load_state(const std::vector<std::uint64_t>& in) override {
+    MASSF_REQUIRE(in.size() == 4,
+                  "HTTP server snapshot state must be 4 RNG words");
+    rng_.set_state({in[0], in[1], in[2], in[3]});
   }
 
  private:

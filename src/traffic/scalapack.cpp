@@ -14,6 +14,10 @@ constexpr int kTagUpdate = 201;
 constexpr int kTagAck = 202;
 constexpr int kTagBaton = 203;
 
+// Timer tags: (iteration << 8) | phase, mirroring the message tag scheme.
+constexpr int kTimerPeerDone = 0;   // peer's update compute finished
+constexpr int kTimerOwnerDone = 1;  // owner's trailing compute finished
+
 /// Shared immutable schedule (sizes per iteration), referenced by every
 /// rank endpoint of one install.
 struct Schedule {
@@ -53,53 +57,23 @@ class ScalapackRank : public emu::AppEndpoint {
     const int iteration = message.tag >> 8;
     const int tag = message.tag & 0xff;
     switch (tag) {
-      case kTagPanel: {
+      case kTagPanel:
         // Peer: apply the update (compute), then trailing exchange + ack.
-        const double compute =
+        api.set_timer(
             schedule_->compute_s[static_cast<std::size_t>(iteration)] /
-            schedule_->ranks();
-        auto& emulator = api.emulator();
-        const NodeId self = api.self();
-        api.after(compute, [this, &emulator, self, iteration] {
-          emu::AppApi api(emulator, self);
-          const int next_rank = (rank_ + 1) % schedule_->ranks();
-          if (next_rank != rank_)
-            post(api, schedule_->hosts[static_cast<std::size_t>(next_rank)],
-                 schedule_->update_bytes[static_cast<std::size_t>(iteration)],
-                 (iteration << 8) | kTagUpdate);
-          const int owner = schedule_->owner(iteration);
-          post(api, schedule_->hosts[static_cast<std::size_t>(owner)], 256,
-               (iteration << 8) | kTagAck);
-        });
+                schedule_->ranks(),
+            (iteration << 8) | kTimerPeerDone);
         break;
-      }
-      case kTagAck: {
+      case kTagAck:
         if (++acks_ == schedule_->ranks() - 1) {
           acks_ = 0;
           // Owner's own trailing update, then hand off.
-          const double compute =
+          api.set_timer(
               schedule_->compute_s[static_cast<std::size_t>(iteration)] /
-              schedule_->ranks();
-          auto& emulator = api.emulator();
-          const NodeId self = api.self();
-          api.after(compute, [this, &emulator, self, iteration] {
-            emu::AppApi api(emulator, self);
-            const int next = iteration + 1;
-            if (next >= schedule_->iterations()) return;  // factorized
-            const int next_owner = schedule_->owner(next);
-            if (next_owner == rank_) {
-              begin_iteration(api, next);
-            } else {
-              // The panel broadcast of iteration `next` starts at its
-              // owner; send it the baton (tiny message tagged as that
-              // iteration's panel trigger).
-              post(api, schedule_->hosts[static_cast<std::size_t>(next_owner)],
-                   128, (next << 8) | kTagBaton);
-            }
-          });
+                  schedule_->ranks(),
+              (iteration << 8) | kTimerOwnerDone);
         }
         break;
-      }
       case kTagBaton:
         // Baton: this rank owns iteration `iteration` — start it.
         begin_iteration(api, iteration);
@@ -108,6 +82,44 @@ class ScalapackRank : public emu::AppEndpoint {
       default:
         break;  // trailing-matrix data needs no action
     }
+  }
+
+  void on_timer(emu::AppApi& api, std::int64_t tag) override {
+    const int iteration = static_cast<int>(tag >> 8);
+    const int phase = static_cast<int>(tag & 0xff);
+    if (phase == kTimerPeerDone) {
+      const int next_rank = (rank_ + 1) % schedule_->ranks();
+      if (next_rank != rank_)
+        post(api, schedule_->hosts[static_cast<std::size_t>(next_rank)],
+             schedule_->update_bytes[static_cast<std::size_t>(iteration)],
+             (iteration << 8) | kTagUpdate);
+      const int owner = schedule_->owner(iteration);
+      post(api, schedule_->hosts[static_cast<std::size_t>(owner)], 256,
+           (iteration << 8) | kTagAck);
+      return;
+    }
+    // Owner compute finished: advance the factorization.
+    const int next = iteration + 1;
+    if (next >= schedule_->iterations()) return;  // factorized
+    const int next_owner = schedule_->owner(next);
+    if (next_owner == rank_) {
+      begin_iteration(api, next);
+    } else {
+      // The panel broadcast of iteration `next` starts at its owner; send
+      // it the baton (tiny message tagged as that iteration's trigger).
+      post(api, schedule_->hosts[static_cast<std::size_t>(next_owner)], 128,
+           (next << 8) | kTagBaton);
+    }
+  }
+
+  void save_state(std::vector<std::uint64_t>& out) const override {
+    out.push_back(static_cast<std::uint64_t>(acks_));
+  }
+
+  void load_state(const std::vector<std::uint64_t>& in) override {
+    MASSF_REQUIRE(in.size() == 1,
+                  "ScaLapack rank snapshot state must be 1 word");
+    acks_ = static_cast<int>(in[0]);
   }
 
  private:

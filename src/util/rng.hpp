@@ -47,6 +47,11 @@ class Rng {
     for (auto& word : state_) word = splitmix64(sm);
   }
 
+  /// Raw generator state, for checkpoint/restore: a stream resumed via
+  /// set_state(state()) continues the exact draw sequence.
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ULL; }
 

@@ -28,6 +28,10 @@ Rules
                        util/spinwait.hpp — idle waiting goes through
                        SpinWait/WaitSlot/SpinBarrier, which bound the spin
                        and escalate to a futex park
+  unchecked-io         fwrite/fread/fclose calls whose return value is
+                       discarded in src/ — a short write that nobody checks
+                       turns a crash-safe checkpoint into a torn one; check
+                       the result (or cast to void on audited cleanup paths)
 
 Suppression
 -----------
@@ -143,6 +147,20 @@ RULES: dict[str, Rule] = {
                 # with `}` (do-while tails) never match.
                 re.compile(r"^\s*while\s*\(.*\)\s*(?:\{\s*\}|;)\s*$"),
             ),
+        ),
+        Rule(
+            name="unchecked-io",
+            dirs=("src",),
+            exempt=(),
+            description=("file-I/O result silently discarded: an unchecked "
+                         "short fwrite/fread or failed fclose turns a "
+                         "crash-safe checkpoint into a torn one — check the "
+                         "return value, or cast to void with an allow() on "
+                         "audited cleanup paths"),
+            # Custom checker (check_unchecked_io): flags a statement that
+            # *begins* with the call, so nothing consumes the result.
+            # Assignments, conditions, comparisons, explicit (void) casts,
+            # and continuation lines of a wrapped condition don't match.
         ),
     ]
 }
@@ -268,6 +286,28 @@ def check_atomic_alignment(code_lines: list[str]) -> list[tuple[int, str]]:
     return findings
 
 
+UNCHECKED_IO_RE = re.compile(r"^\s*(?:std::)?f(?:write|read|close)\s*\(")
+# A line ending in one of these is mid-expression; the call starting the
+# next line continues it (its result is consumed) rather than opening a
+# fresh discarded-result statement.
+CONTINUATION_END_RE = re.compile(r"(?:[&|(,=+\-*/%<>!?]|\breturn)\s*$")
+
+
+def check_unchecked_io(code_lines: list[str]) -> list[tuple[int, str]]:
+    """Flag fwrite/fread/fclose statements whose result nothing consumes: the
+    call opens the statement (previous code line completed one)."""
+    findings: list[tuple[int, str]] = []
+    prev = ""
+    for idx, line in enumerate(code_lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if UNCHECKED_IO_RE.match(line) and not CONTINUATION_END_RE.search(prev):
+            findings.append((idx, line))
+        prev = stripped
+    return findings
+
+
 def lint_file(path: str, rel: str, active: list[Rule]) -> list[Finding]:
     with open(path, encoding="utf-8", errors="replace") as fh:
         raw_lines = fh.read().splitlines()
@@ -278,6 +318,8 @@ def lint_file(path: str, rel: str, active: list[Rule]) -> list[Finding]:
     for rule in active:
         if rule.name == "atomic-alignment":
             hits = check_atomic_alignment(code_lines)
+        elif rule.name == "unchecked-io":
+            hits = check_unchecked_io(code_lines)
         else:
             hits = []
             for idx, line in enumerate(code_lines, start=1):
