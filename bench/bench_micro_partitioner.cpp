@@ -80,6 +80,41 @@ void BM_RoutingTablesBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_RoutingTablesBuild)->Arg(100)->Arg(200);
 
+// Kernel microbench for the caller-owned-scratch route variants: the
+// allocating route() against route_into() with a buffer reused across
+// calls — the pattern the mapper's per-flow fallback loop uses.
+void BM_RouteAlloc(benchmark::State& state) {
+  const topology::Network net = topology::make_teragrid();
+  const routing::RoutingTables tables = routing::RoutingTables::build(net);
+  const auto hosts = net.hosts();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto a = hosts[i % hosts.size()];
+    const auto b = hosts[(i * 31 + 7) % hosts.size()];
+    benchmark::DoNotOptimize(tables.route(a, b));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteAlloc);
+
+void BM_RouteIntoScratch(benchmark::State& state) {
+  const topology::Network net = topology::make_teragrid();
+  const routing::RoutingTables tables = routing::RoutingTables::build(net);
+  const auto hosts = net.hosts();
+  std::vector<topology::NodeId> path;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto a = hosts[i % hosts.size()];
+    const auto b = hosts[(i * 31 + 7) % hosts.size()];
+    tables.route_into(a, b, path);
+    benchmark::DoNotOptimize(path.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteIntoScratch);
+
 void BM_AggregateFlows(benchmark::State& state) {
   const topology::Network net = topology::make_teragrid();
   const routing::RoutingTables tables = routing::RoutingTables::build(net);

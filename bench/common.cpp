@@ -4,6 +4,10 @@
 #include <sstream>
 #include <thread>
 
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "traffic/gridnpb.hpp"
 #include "traffic/http.hpp"
 #include "traffic/scalapack.hpp"
@@ -132,6 +136,20 @@ int replica_count() {
   return 3;
 }
 
+std::size_t peak_rss_bytes() {
+#if defined(__linux__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // kilobytes
+#endif
+#else
+  return 0;
+#endif
+}
+
 std::string context_json(int max_threads, const std::string& indent) {
 #ifdef NDEBUG
   const char* build = "Release";
@@ -150,7 +168,8 @@ std::string context_json(int max_threads, const std::string& indent) {
       << ",\n"
       << indent << "  \"max_threads\": " << max_threads << ",\n"
       << indent << "  \"load_avg\": [" << loads[0] << ", " << loads[1] << ", "
-      << loads[2] << "]\n"
+      << loads[2] << "],\n"
+      << indent << "  \"peak_rss_bytes\": " << peak_rss_bytes() << "\n"
       << indent << "}";
   return out.str();
 }

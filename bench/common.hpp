@@ -64,11 +64,18 @@ mapping::ExperimentSetup make_setup(const TopologyCase& topo,
 /// MASSF_BENCH_REPLICAS environment variable.
 int replica_count();
 
+/// Peak resident set size of this process so far, in bytes (ru_maxrss,
+/// normalized across the Linux-KB/macOS-bytes divergence); 0 where
+/// unavailable. Monotone over the process lifetime — sample after the
+/// phase being measured, and remember earlier phases set the floor.
+std::size_t peak_rss_bytes();
+
 /// JSON object describing the host/build context a bench ran under: build
 /// type, CPU count, widest worker pool the bench spawns (`max_threads`,
-/// 0 = single-threaded), and the 1/5/15-minute load averages (-1 where
-/// unavailable). Committed wall-clock numbers are uninterpretable without
-/// it — stamp this into every bench JSON that records wall time. `indent`
+/// 0 = single-threaded), the 1/5/15-minute load averages (-1 where
+/// unavailable), and the process peak RSS at the time the context was
+/// stamped. Committed wall-clock numbers are uninterpretable without it —
+/// stamp this into every bench JSON that records wall time. `indent`
 /// prefixes every line after the first so the block nests at any depth.
 std::string context_json(int max_threads, const std::string& indent);
 

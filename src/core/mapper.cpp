@@ -25,7 +25,7 @@ const char* approach_name(Approach approach) {
   return "?";
 }
 
-Mapper::Mapper(const Network& network, const routing::RoutingTables& routes)
+Mapper::Mapper(const Network& network, const routing::RoutingView& routes)
     : network_(network), routes_(routes), structure_(network.to_graph()) {}
 
 namespace {
@@ -192,6 +192,9 @@ routing::AggregatedLoad Mapper::aggregate_via_traceroute(
   const std::vector<emu::DiscoveredRoute> discovered =
       emu::discover_routes(network_, routes_, pairs);
 
+  // One path buffer reused across every flow: this loop routes O(flows)
+  // times and a fresh vector per flow dominated its allocation profile.
+  std::vector<NodeId> path;
   for (const routing::Flow& flow : flows) {
     if (flow.src == flow.dst || flow.volume <= 0) continue;
     const NodeId a = representative(flow.src);
@@ -199,7 +202,7 @@ routing::AggregatedLoad Mapper::aggregate_via_traceroute(
 
     // Assemble the full node path: src [+ access hop] + router path [+
     // access hop] + dst.
-    std::vector<NodeId> path;
+    path.clear();
     path.push_back(flow.src);
     if (a != flow.src) path.push_back(a);
     if (a != b) {
@@ -207,8 +210,7 @@ routing::AggregatedLoad Mapper::aggregate_via_traceroute(
       if (core.empty()) {
         // Traceroute failed (should not happen on connected networks);
         // fall back to the routing tables for this flow.
-        const auto table_path = routes_.route(flow.src, flow.dst);
-        path.assign(table_path.begin(), table_path.end());
+        routes_.route_into(flow.src, flow.dst, path);
       } else {
         for (std::size_t i = 1; i + 1 < core.size(); ++i)
           path.push_back(core[i]);

@@ -94,7 +94,7 @@ struct MappingResult {
 
 class Mapper {
  public:
-  Mapper(const Network& network, const routing::RoutingTables& routes);
+  Mapper(const Network& network, const routing::RoutingView& routes);
 
   const Network& network() const { return network_; }
 
@@ -159,7 +159,7 @@ class Mapper {
       const std::vector<routing::Flow>& flows) const;
 
   const Network& network_;
-  const routing::RoutingTables& routes_;
+  const routing::RoutingView& routes_;
   graph::Graph structure_;
 };
 

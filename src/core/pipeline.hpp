@@ -30,7 +30,7 @@ namespace massf::mapping {
 
 struct ExperimentSetup {
   const Network* network = nullptr;
-  const routing::RoutingTables* routes = nullptr;
+  const routing::RoutingView* routes = nullptr;
   std::shared_ptr<const traffic::Workload> workload;
   /// Optional distinct workload for the PROFILE profiling run (defaults to
   /// `workload`). Using a variant with different traffic dynamics models

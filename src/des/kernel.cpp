@@ -268,6 +268,7 @@ struct Kernel::Impl {
 
   explicit Impl(int lp_count) : lps(static_cast<std::size_t>(lp_count)) {
     for (Lp& lp : lps) lp.outbox.resize(static_cast<std::size_t>(lp_count));
+    // massf-lint: allow(quadratic-reserve) — engine-count², not node-count².
     channel_of.assign(lps.size() * lps.size(), -1);
   }
 
@@ -320,6 +321,7 @@ struct Kernel::Impl {
       sweep(ch->free_cache);
     }
     channels.clear();
+    // massf-lint: allow(quadratic-reserve) — engine-count², not node-count².
     channel_of.assign(lps.size() * lps.size(), -1);
   }
 

@@ -51,7 +51,7 @@ void AppApi::set_timer(double delay, std::int64_t tag) {
 }
 
 Emulator::Emulator(const topology::Network& network,
-                   const routing::RoutingTables& routes,
+                   const routing::RoutingView& routes,
                    std::vector<int> node_engine, int engines,
                    EmulatorConfig config)
     : network_(network),
@@ -451,7 +451,7 @@ void Emulator::arrive(NodeId at, Packet* packet) {
 }
 
 void Emulator::transmit(NodeId from, Packet* packet, SimTime t) {
-  const routing::RoutingTables* tables = &routes_;
+  const routing::RoutingView* tables = &routes_;
   std::size_t epoch = 0;
   if (faults_ != nullptr) {
     epoch = epoch_for(t);

@@ -181,7 +181,7 @@ class Emulator : private des::EventSink {
   /// [0, engines). The kernel lookahead is the minimum latency over links
   /// whose endpoints live on different engines.
   Emulator(const topology::Network& network,
-           const routing::RoutingTables& routes, std::vector<int> node_engine,
+           const routing::RoutingView& routes, std::vector<int> node_engine,
            int engines, EmulatorConfig config = {});
   ~Emulator();
 
@@ -189,7 +189,7 @@ class Emulator : private des::EventSink {
   Emulator& operator=(const Emulator&) = delete;
 
   const topology::Network& network() const { return network_; }
-  const routing::RoutingTables& routes() const { return routes_; }
+  const routing::RoutingView& routes() const { return routes_; }
   int engines() const { return engines_; }
   int engine_of(NodeId node) const;
   double lookahead() const { return lookahead_; }
@@ -480,7 +480,7 @@ class Emulator : private des::EventSink {
   void register_channel_lookaheads();
 
   const topology::Network& network_;
-  const routing::RoutingTables& routes_;
+  const routing::RoutingView& routes_;
   std::vector<int> node_engine_;
   int engines_;
   EmulatorConfig config_;

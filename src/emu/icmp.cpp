@@ -10,7 +10,7 @@ namespace massf::emu {
 using topology::NodeId;
 
 std::vector<DiscoveredRoute> discover_routes(
-    const topology::Network& network, const routing::RoutingTables& routes,
+    const topology::Network& network, const routing::RoutingView& routes,
     const std::vector<std::pair<NodeId, NodeId>>& pairs,
     const TracerouteOptions& options) {
   MASSF_REQUIRE(options.max_ttl >= 1, "max_ttl must be >= 1");

@@ -31,7 +31,7 @@ struct TracerouteOptions {
 /// single-engine emulation that exchanges real ICMP packets over the
 /// virtual network. Returns one route per input pair (same order).
 std::vector<DiscoveredRoute> discover_routes(
-    const topology::Network& network, const routing::RoutingTables& routes,
+    const topology::Network& network, const routing::RoutingView& routes,
     const std::vector<std::pair<topology::NodeId, topology::NodeId>>& pairs,
     const TracerouteOptions& options = {});
 

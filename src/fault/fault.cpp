@@ -163,7 +163,19 @@ FaultPlan FaultPlan::random(const Network& network,
   return plan;
 }
 
-FaultTimeline::FaultTimeline(const Network& network, const FaultPlan& plan) {
+FaultTimeline::FaultTimeline(const Network& network, const FaultPlan& plan,
+                             RoutingBuilder builder) {
+  if (!builder) {
+    builder = [](const Network& net, routing::Reachability* reach,
+                 const std::vector<char>* links_up,
+                 const std::vector<char>* nodes_up,
+                 const routing::RoutingView* /*previous*/)
+        -> std::shared_ptr<const routing::RoutingView> {
+      return std::make_shared<const routing::RoutingTables>(
+          routing::RoutingTables::build_partial(net, reach, links_up,
+                                                nodes_up));
+    };
+  }
   plan.validate(network);
   node_count_ = network.node_count();
   link_count_ = network.link_count();
@@ -213,6 +225,7 @@ FaultTimeline::FaultTimeline(const Network& network, const FaultPlan& plan) {
     epochs_.back().nodes_up = nodes_up;
   }
 
+  const routing::RoutingView* previous = nullptr;
   for (Epoch& epoch : epochs_) {
     epoch.links_down = static_cast<int>(
         std::count(epoch.links_up.begin(), epoch.links_up.end(), 0));
@@ -220,7 +233,7 @@ FaultTimeline::FaultTimeline(const Network& network, const FaultPlan& plan) {
         std::count(epoch.nodes_up.begin(), epoch.nodes_up.end(), 0));
 
     // Reuse tables from any earlier epoch with identical masks — flapping
-    // plans revisit states, and n² tables are the dominant setup cost.
+    // plans revisit states, and routing tables are the dominant setup cost.
     const Epoch* same = nullptr;
     for (const Epoch& prior : epochs_) {
       if (&prior == &epoch) break;
@@ -235,12 +248,13 @@ FaultTimeline::FaultTimeline(const Network& network, const FaultPlan& plan) {
       epoch.reach = same->reach;
     } else {
       routing::Reachability reach;
-      epoch.routes = std::make_shared<const routing::RoutingTables>(
-          routing::RoutingTables::build_partial(network, &reach,
-                                                &epoch.links_up,
-                                                &epoch.nodes_up));
+      epoch.routes = builder(network, &reach, &epoch.links_up,
+                             &epoch.nodes_up, previous);
+      MASSF_REQUIRE(epoch.routes != nullptr,
+                    "routing builder returned a null view");
       epoch.reach = std::move(reach);
     }
+    previous = epoch.routes.get();
   }
 }
 

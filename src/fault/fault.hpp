@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -115,16 +116,28 @@ class FaultTimeline {
     std::vector<char> nodes_up;  // indexed by NodeId, 1 = up
     /// Shared when consecutive epochs have identical masks (e.g. a router
     /// flap that returns to a previously seen state).
-    std::shared_ptr<const routing::RoutingTables> routes;
+    std::shared_ptr<const routing::RoutingView> routes;
     routing::Reachability reach;
     int links_down = 0;
     int nodes_down = 0;
   };
 
+  /// Builds the routing view for one epoch's up/down masks. `previous` is
+  /// the view of the epoch compiled just before this one (nullptr for epoch
+  /// 0), letting backends share unchanged state across epochs — the
+  /// hierarchical tables reuse every domain whose masks did not change.
+  using RoutingBuilder =
+      std::function<std::shared_ptr<const routing::RoutingView>(
+          const Network& network, routing::Reachability* reachability,
+          const std::vector<char>* links_up, const std::vector<char>* nodes_up,
+          const routing::RoutingView* previous)>;
+
   /// Compile `plan` against `network`. Validates the plan; precomputes one
-  /// RoutingTables per distinct mask. Epoch 0 always starts at t = 0 with
+  /// routing view per distinct mask via `builder` (default: dense
+  /// RoutingTables::build_partial). Epoch 0 always starts at t = 0 with
   /// everything up (events at exactly t = 0 fold into it).
-  FaultTimeline(const Network& network, const FaultPlan& plan);
+  FaultTimeline(const Network& network, const FaultPlan& plan,
+                RoutingBuilder builder = {});
 
   std::size_t epoch_count() const { return epochs_.size(); }
   const Epoch& epoch(std::size_t i) const { return epochs_[i]; }

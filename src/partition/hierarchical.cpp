@@ -1,0 +1,222 @@
+// Coarsen-once partitioning: exploit the domain tags hierarchical
+// topologies carry instead of rediscovering the same clustering with
+// O(levels · n) heavy-edge matching. Domains become quotient vertices in a
+// single step; only domains too heavy for one block are split (BFS chunks
+// of bounded weight, so chunks stay connected and the quotient partitioner
+// retains room to balance).
+#include <algorithm>
+#include <tuple>
+
+#include "partition/partition.hpp"
+#include "util/error.hpp"
+
+namespace massf::partition {
+
+namespace {
+
+using graph::ArcIndex;
+using graph::VertexId;
+
+/// Load of a weight vector relative to the per-part targets: max over
+/// constraints of w_c / (total_c / parts). 1.0 = exactly one part's share.
+double relative_load(const std::vector<double>& weight,
+                     const std::vector<double>& target) {
+  double load = 0;
+  for (std::size_t c = 0; c < weight.size(); ++c)
+    if (target[c] > 0) load = std::max(load, weight[c] / target[c]);
+  return load;
+}
+
+}  // namespace
+
+PartitionResult partition_hierarchical(const graph::Graph& graph,
+                                       const std::vector<int>& domain_of,
+                                       const PartitionOptions& options) {
+  const VertexId n = graph.vertex_count();
+  MASSF_REQUIRE(n > 0, "cannot partition an empty graph");
+  MASSF_REQUIRE(domain_of.size() == static_cast<std::size_t>(n),
+                "domain_of size must equal vertex count");
+  MASSF_REQUIRE(options.parts >= 1, "parts must be >= 1");
+  if (options.parts == 1) {
+    PartitionResult result;
+    result.assignment.assign(static_cast<std::size_t>(n), 0);
+    result.edge_cut = 0;
+    result.worst_balance = 1.0;
+    return result;
+  }
+
+  int domains = 0;
+  for (int d : domain_of) {
+    MASSF_REQUIRE(d >= 0, "domain ids must be non-negative");
+    domains = std::max(domains, d + 1);
+  }
+
+  const int ncon = graph.constraint_count();
+  // Per-part target weight per constraint (the balance denominator).
+  std::vector<double> target(static_cast<std::size_t>(ncon), 0.0);
+  for (VertexId v = 0; v < n; ++v)
+    for (int c = 0; c < ncon; ++c)
+      target[static_cast<std::size_t>(c)] += graph.vertex_weight(v, c);
+  for (double& t : target) t /= options.parts;
+
+  // ---- Group formation: one group per domain, oversized domains split ----
+  // A group heavier than half a part would wedge the quotient partitioner
+  // (two such groups already overfill a block), so domains above that
+  // threshold are carved into BFS chunks capped at half a part's share.
+  constexpr double kMaxGroupLoad = 0.5;
+  std::vector<int> group_of(static_cast<std::size_t>(n), -1);
+  int groups = 0;
+  {
+    // Domain member lists (ascending vertex id within each domain).
+    std::vector<std::int64_t> dom_off(static_cast<std::size_t>(domains) + 1, 0);
+    for (int d : domain_of) dom_off[static_cast<std::size_t>(d) + 1]++;
+    for (int i = 0; i < domains; ++i)
+      dom_off[static_cast<std::size_t>(i) + 1] +=
+          dom_off[static_cast<std::size_t>(i)];
+    std::vector<VertexId> dom_vertices(static_cast<std::size_t>(n));
+    {
+      std::vector<std::int64_t> cursor(dom_off.begin(), dom_off.end() - 1);
+      for (VertexId v = 0; v < n; ++v)
+        dom_vertices[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(domain_of[static_cast<std::size_t>(
+                v)])]++)] = v;
+    }
+
+    std::vector<double> weight(static_cast<std::size_t>(ncon));
+    std::vector<VertexId> queue;
+    for (int i = 0; i < domains; ++i) {
+      const std::int64_t lo = dom_off[static_cast<std::size_t>(i)];
+      const std::int64_t hi = dom_off[static_cast<std::size_t>(i) + 1];
+      if (lo == hi) continue;  // empty domain id
+      std::fill(weight.begin(), weight.end(), 0.0);
+      for (std::int64_t k = lo; k < hi; ++k)
+        for (int c = 0; c < ncon; ++c)
+          weight[static_cast<std::size_t>(c)] += graph.vertex_weight(
+              dom_vertices[static_cast<std::size_t>(k)], c);
+      if (relative_load(weight, target) <= kMaxGroupLoad) {
+        const int g = groups++;
+        for (std::int64_t k = lo; k < hi; ++k)
+          group_of[static_cast<std::size_t>(
+              dom_vertices[static_cast<std::size_t>(k)])] = g;
+        continue;
+      }
+      // Oversized: BFS chunks from the lowest-id unassigned vertex, closing
+      // a chunk when the next vertex would push it past the cap. Chunks are
+      // connected within the domain (modulo the domain itself being
+      // disconnected, where each piece seeds its own BFS).
+      std::fill(weight.begin(), weight.end(), 0.0);
+      int chunk = groups++;
+      bool chunk_empty = true;
+      const auto close_chunk = [&]() {
+        chunk = groups++;
+        chunk_empty = true;
+        std::fill(weight.begin(), weight.end(), 0.0);
+      };
+      for (std::int64_t k = lo; k < hi; ++k) {
+        const VertexId seed = dom_vertices[static_cast<std::size_t>(k)];
+        if (group_of[static_cast<std::size_t>(seed)] >= 0) continue;
+        queue.clear();
+        queue.push_back(seed);
+        group_of[static_cast<std::size_t>(seed)] = -2;  // enqueued marker
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+          const VertexId v = queue[head];
+          double load_after = 0;
+          for (int c = 0; c < ncon; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            if (target[ci] > 0)
+              load_after = std::max(
+                  load_after,
+                  (weight[ci] + graph.vertex_weight(v, c)) / target[ci]);
+          }
+          if (!chunk_empty && load_after > kMaxGroupLoad) close_chunk();
+          group_of[static_cast<std::size_t>(v)] = chunk;
+          chunk_empty = false;
+          for (int c = 0; c < ncon; ++c)
+            weight[static_cast<std::size_t>(c)] += graph.vertex_weight(v, c);
+          for (ArcIndex a = graph.arc_begin(v); a < graph.arc_end(v); ++a) {
+            const VertexId to = graph.arc_target(a);
+            if (group_of[static_cast<std::size_t>(to)] != -1) continue;
+            if (domain_of[static_cast<std::size_t>(to)] != i) continue;
+            group_of[static_cast<std::size_t>(to)] = -2;
+            queue.push_back(to);
+          }
+        }
+      }
+    }
+  }
+
+  // Not enough groups to fill the blocks (tiny graphs, or a single domain):
+  // the quotient would be infeasible, so partition flat.
+  if (groups < options.parts) return partition_multilevel(graph, options);
+
+  // ---- Quotient graph ----
+  graph::Graph quotient;
+  {
+    std::vector<double> qweights(
+        static_cast<std::size_t>(groups) * static_cast<std::size_t>(ncon),
+        0.0);
+    for (VertexId v = 0; v < n; ++v) {
+      const auto g =
+          static_cast<std::size_t>(group_of[static_cast<std::size_t>(v)]);
+      for (int c = 0; c < ncon; ++c)
+        qweights[g * static_cast<std::size_t>(ncon) +
+                 static_cast<std::size_t>(c)] += graph.vertex_weight(v, c);
+    }
+    // Aggregate inter-group edge weights with a sort (deterministic, no
+    // hash-ordered state): each undirected edge contributes once.
+    std::vector<std::tuple<int, int, double>> edges;
+    for (VertexId v = 0; v < n; ++v) {
+      const int gv = group_of[static_cast<std::size_t>(v)];
+      for (ArcIndex a = graph.arc_begin(v); a < graph.arc_end(v); ++a) {
+        const VertexId to = graph.arc_target(a);
+        if (to <= v) continue;  // count each undirected edge once
+        const int gt = group_of[static_cast<std::size_t>(to)];
+        if (gv == gt) continue;
+        edges.emplace_back(std::min(gv, gt), std::max(gv, gt),
+                           graph.arc_weight(a));
+      }
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const auto& x, const auto& y) {
+                return std::tie(std::get<0>(x), std::get<1>(x)) <
+                       std::tie(std::get<0>(y), std::get<1>(y));
+              });
+    graph::GraphBuilder builder(ncon);
+    for (int g = 0; g < groups; ++g)
+      builder.add_vertex(std::span<const double>(
+          qweights.data() + static_cast<std::size_t>(g) *
+                                static_cast<std::size_t>(ncon),
+          static_cast<std::size_t>(ncon)));
+    for (std::size_t e = 0; e < edges.size();) {
+      const int a = std::get<0>(edges[e]);
+      const int b = std::get<1>(edges[e]);
+      double w = 0;
+      while (e < edges.size() && std::get<0>(edges[e]) == a &&
+             std::get<1>(edges[e]) == b) {
+        w += std::get<2>(edges[e]);
+        ++e;
+      }
+      builder.add_edge(a, b, w);
+    }
+    quotient = builder.build();
+  }
+
+  PartitionResult coarse = partition_multilevel(quotient, options);
+
+  PartitionResult result;
+  result.assignment.resize(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v)
+    result.assignment[static_cast<std::size_t>(v)] =
+        coarse.assignment[static_cast<std::size_t>(
+            group_of[static_cast<std::size_t>(v)])];
+  // Quality measured on the original graph, not the quotient — group
+  // weights and aggregated edges make the quotient numbers identical
+  // anyway, but the original-graph metrics are what callers compare
+  // against other partitioners.
+  result.edge_cut = edge_cut(graph, result.assignment);
+  result.worst_balance =
+      worst_balance_ratio(graph, result.assignment, options.parts);
+  return result;
+}
+
+}  // namespace massf::partition

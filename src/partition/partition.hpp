@@ -61,6 +61,20 @@ struct PartitionResult {
 PartitionResult partition_multilevel(const graph::Graph& graph,
                                      const PartitionOptions& options);
 
+/// Coarsen-once partitioning for domain-tagged graphs (million-node scale):
+/// collapse each domain (`domain_of[v]`, dense ids as produced by
+/// topology::Network::domain_of_nodes) to one quotient vertex — splitting
+/// oversized domains into bounded-weight connected chunks first — then run
+/// the multilevel partitioner on the quotient and place whole chunks. The
+/// multilevel machinery never sees more vertices than domains + split
+/// chunks, so wall time and memory scale with the domain structure rather
+/// than with n. Falls back to partition_multilevel when the graph carries
+/// no usable domain structure (one domain, or fewer groups than parts).
+/// Reported edge_cut / worst_balance are measured on the original graph.
+PartitionResult partition_hierarchical(const graph::Graph& graph,
+                                       const std::vector<int>& domain_of,
+                                       const PartitionOptions& options);
+
 // ---------------------------------------------------------------------------
 // Quality metrics (shared by the partitioner, tests and benches).
 // ---------------------------------------------------------------------------

@@ -9,7 +9,7 @@
 namespace massf::rebalance {
 
 Controller::Controller(const topology::Network& network,
-                       const routing::RoutingTables& routes,
+                       const routing::RoutingView& routes,
                        RebalanceConfig config)
     : mapper_(network, routes),
       config_(config),

@@ -57,7 +57,7 @@ struct RebalanceDecision {
 class Controller {
  public:
   Controller(const topology::Network& network,
-             const routing::RoutingTables& routes,
+             const routing::RoutingView& routes,
              RebalanceConfig config = {});
 
   /// Wire this controller into an emulator run that will end at `horizon`:

@@ -167,46 +167,59 @@ RoutingTables RoutingTables::build_partial(const Network& network,
   return tables;
 }
 
-std::vector<NodeId> RoutingTables::route(NodeId src, NodeId dst) const {
-  std::vector<NodeId> path{src};
+void RoutingView::route_into(NodeId src, NodeId dst,
+                             std::vector<NodeId>& out) const {
+  out.clear();
+  out.push_back(src);
   NodeId cur = src;
   while (cur != dst) {
     const NodeId next = next_hop(cur, dst);
     MASSF_CHECK(next >= 0 && next != cur,
                 "routing loop or hole at node " << cur << " toward " << dst);
-    path.push_back(next);
-    MASSF_CHECK(path.size() <= static_cast<std::size_t>(n_),
+    out.push_back(next);
+    MASSF_CHECK(out.size() <= static_cast<std::size_t>(node_count()),
                 "route longer than node count: loop suspected");
     cur = next;
   }
+}
+
+void RoutingView::route_links_into(NodeId src, NodeId dst,
+                                   std::vector<LinkId>& out) const {
+  out.clear();
+  NodeId cur = src;
+  while (cur != dst) {
+    out.push_back(next_link(cur, dst));
+    cur = next_hop(cur, dst);
+    MASSF_CHECK(out.size() <= static_cast<std::size_t>(node_count()),
+                "route longer than node count: loop suspected");
+  }
+}
+
+std::vector<NodeId> RoutingView::route(NodeId src, NodeId dst) const {
+  std::vector<NodeId> path;
+  route_into(src, dst, path);
   return path;
 }
 
-std::vector<LinkId> RoutingTables::route_links(NodeId src, NodeId dst) const {
+std::vector<LinkId> RoutingView::route_links(NodeId src, NodeId dst) const {
   std::vector<LinkId> links;
-  NodeId cur = src;
-  while (cur != dst) {
-    links.push_back(next_link(cur, dst));
-    cur = next_hop(cur, dst);
-    MASSF_CHECK(links.size() <= static_cast<std::size_t>(n_),
-                "route longer than node count: loop suspected");
-  }
+  route_links_into(src, dst, links);
   return links;
 }
 
-int RoutingTables::hop_count(NodeId src, NodeId dst) const {
+int RoutingView::hop_count(NodeId src, NodeId dst) const {
   return static_cast<int>(route_links(src, dst).size());
 }
 
-double RoutingTables::path_latency(const Network& network, NodeId src,
-                                   NodeId dst) const {
+double RoutingView::path_latency(const Network& network, NodeId src,
+                                 NodeId dst) const {
   double total = 0;
   for (LinkId l : route_links(src, dst)) total += network.link(l).latency_s;
   return total;
 }
 
 AggregatedLoad aggregate_flows(const Network& network,
-                               const RoutingTables& tables,
+                               const RoutingView& tables,
                                const std::vector<Flow>& flows) {
   AggregatedLoad out;
   out.link_load.assign(static_cast<std::size_t>(network.link_count()), 0.0);

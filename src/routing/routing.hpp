@@ -7,6 +7,14 @@
 // lookup exactly like the real thing; the PLACE mapper discovers these
 // routes through the emulated traceroute (emu/icmp) rather than reading the
 // tables directly, mirroring the paper's methodology.
+//
+// Two backends implement the common RoutingView interface:
+//   * RoutingTables (this header) — the dense n² form: a few MB and O(1)
+//     per lookup at the paper's ≤ ~600 nodes;
+//   * HierarchicalRoutingTables (routing/hierarchical.hpp) — per-domain
+//     tables + border-to-border distances, O(Σ dᵢ² + B²) memory for
+//     10⁵–10⁶-node networks where n² state is fatal.
+// make_routing_view (routing/hierarchical.hpp) picks between them by size.
 #pragma once
 
 #include <cstdint>
@@ -46,9 +54,60 @@ struct Reachability {
   }
 };
 
+/// Read interface every routing backend implements. Forwarding consumers
+/// (the emulator's per-hop lookup, ICMP traceroute, flow aggregation, the
+/// mapper) depend only on this, so dense and hierarchical tables are
+/// drop-in replacements for each other.
+class RoutingView {
+ public:
+  virtual ~RoutingView() = default;
+
+  virtual NodeId node_count() const = 0;
+
+  /// Next node on the path src → dst (== dst when adjacent; src itself when
+  /// src == dst; -1 when dst is unreachable).
+  virtual NodeId next_hop(NodeId src, NodeId dst) const = 0;
+
+  /// The link carrying traffic from src toward dst (-1 when src == dst or
+  /// dst is unreachable).
+  virtual LinkId next_link(NodeId src, NodeId dst) const = 0;
+
+  /// Bytes of routing state this view holds (tables and indices), for
+  /// memory budgeting and the scalability bench.
+  virtual std::size_t memory_bytes() const = 0;
+
+  /// True when a path src → dst exists in this view.
+  bool reachable(NodeId src, NodeId dst) const {
+    return src == dst || next_hop(src, dst) >= 0;
+  }
+
+  /// Full node path src → dst into a caller-owned buffer (cleared first;
+  /// inclusive of both endpoints). Reusing one buffer across calls avoids
+  /// the per-call allocation of route() in rerouting-heavy loops.
+  void route_into(NodeId src, NodeId dst, std::vector<NodeId>& out) const;
+
+  /// Links along the path src → dst into a caller-owned buffer (cleared
+  /// first; empty when src == dst).
+  void route_links_into(NodeId src, NodeId dst,
+                        std::vector<LinkId>& out) const;
+
+  /// Full node path src → dst, inclusive of both endpoints.
+  std::vector<NodeId> route(NodeId src, NodeId dst) const;
+
+  /// Links along the path src → dst (empty when src == dst).
+  std::vector<LinkId> route_links(NodeId src, NodeId dst) const;
+
+  /// Number of hops (links) on the path src → dst.
+  int hop_count(NodeId src, NodeId dst) const;
+
+  /// End-to-end one-way propagation latency src → dst (sum of link
+  /// latencies on the route).
+  double path_latency(const Network& network, NodeId src, NodeId dst) const;
+};
+
 /// Complete next-hop tables (n² entries). For the network sizes in the
 /// paper (≤ ~600 nodes) the dense form is a few MB and O(1) to query.
-class RoutingTables {
+class RoutingTables final : public RoutingView {
  public:
   /// Build tables for the whole network (Dijkstra from every node over link
   /// latency). Throws std::invalid_argument if the network is not connected
@@ -66,36 +125,28 @@ class RoutingTables {
                                      const std::vector<char>* links_up = nullptr,
                                      const std::vector<char>* nodes_up = nullptr);
 
-  NodeId node_count() const { return n_; }
+  NodeId node_count() const override { return n_; }
 
-  /// Next node on the path src → dst (== dst when adjacent; src itself when
-  /// src == dst; -1 when dst is unreachable in a partial table).
-  NodeId next_hop(NodeId src, NodeId dst) const {
+  NodeId next_hop(NodeId src, NodeId dst) const override {
     return next_hop_[index(src, dst)];
   }
 
-  /// True when a path src → dst exists in these tables.
-  bool reachable(NodeId src, NodeId dst) const {
-    return src == dst || next_hop_[index(src, dst)] >= 0;
-  }
-
-  /// The link carrying traffic from src toward dst (-1 when src == dst).
-  LinkId next_link(NodeId src, NodeId dst) const {
+  LinkId next_link(NodeId src, NodeId dst) const override {
     return next_link_[index(src, dst)];
   }
 
-  /// Full node path src → dst, inclusive of both endpoints.
-  std::vector<NodeId> route(NodeId src, NodeId dst) const;
+  std::size_t memory_bytes() const override {
+    return next_hop_.capacity() * sizeof(NodeId) +
+           next_link_.capacity() * sizeof(LinkId);
+  }
 
-  /// Links along the path src → dst (empty when src == dst).
-  std::vector<LinkId> route_links(NodeId src, NodeId dst) const;
-
-  /// Number of hops (links) on the path src → dst.
-  int hop_count(NodeId src, NodeId dst) const;
-
-  /// End-to-end one-way propagation latency src → dst (sum of link
-  /// latencies on the route).
-  double path_latency(const Network& network, NodeId src, NodeId dst) const;
+  /// Bytes an n-node dense table pair would occupy — the projection the
+  /// scalability bench compares hierarchical memory against at sizes where
+  /// actually building the dense form is infeasible.
+  static std::size_t projected_bytes(NodeId n) {
+    return static_cast<std::size_t>(n) * static_cast<std::size_t>(n) *
+           (sizeof(NodeId) + sizeof(LinkId));
+  }
 
  private:
   RoutingTables(NodeId n) : n_(n) {}
@@ -124,7 +175,7 @@ struct AggregatedLoad {
 };
 
 AggregatedLoad aggregate_flows(const Network& network,
-                               const RoutingTables& tables,
+                               const RoutingView& tables,
                                const std::vector<Flow>& flows);
 
 }  // namespace massf::routing

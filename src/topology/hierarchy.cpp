@@ -1,0 +1,131 @@
+// Hierarchical AS/pod topology: the million-node-scale generator.
+//
+// Structure: a wide-area backbone (ring of R routers with ~√R express
+// chords) and P campus-like pods. Each pod is a three-tier subnet — one
+// gateway router, two distribution routers in a redundant triangle with the
+// gateway, access routers dual-homed to both distribution routers, and
+// single-homed hosts — uplinked gateway → backbone round-robin.
+//
+// Every node carries a domain tag (Network::domain_id): backbone router r
+// is its own singleton domain r, pod i is domain R + i. Singleton backbone
+// domains matter: one big "backbone domain" would make every backbone
+// router a border of the same domain and the border quotient graph would
+// gain a dense B² edge block; singletons keep it as sparse as the backbone
+// itself, which is what makes the border Dijkstras feasible at 10⁶ nodes.
+//
+// Link latencies get a deterministic relative jitter (default 1e-6) so all
+// shortest paths are unique — the property that makes hierarchical and
+// dense routing pick bit-identical next hops (see routing/hierarchical.hpp).
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "topology/topologies.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace massf::topology {
+
+Network make_hierarchy(const HierarchyParams& params) {
+  MASSF_REQUIRE(params.backbone_routers >= 1, "need at least 1 backbone router");
+  MASSF_REQUIRE(params.pods >= 1, "need at least 1 pod");
+  MASSF_REQUIRE(params.access_per_pod >= 1, "need at least 1 access router");
+  MASSF_REQUIRE(params.hosts_per_access >= 1, "need at least 1 host per access");
+  MASSF_REQUIRE(params.latency_jitter >= 0 && params.latency_jitter < 1,
+                "latency_jitter must be in [0, 1)");
+
+  Network net;
+  Rng rng(params.seed);
+  const auto link = [&](NodeId a, NodeId b, double bandwidth_bps,
+                        double latency_s) {
+    net.add_link(a, b, bandwidth_bps,
+                 latency_s * (1.0 + params.latency_jitter * rng.next_double()));
+  };
+
+  // Backbone: AS 0, router r in singleton domain r.
+  const int R = params.backbone_routers;
+  std::vector<NodeId> backbone(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    backbone[static_cast<std::size_t>(r)] =
+        net.add_router("bb" + std::to_string(r), /*as_id=*/0);
+    net.set_node_domain(backbone[static_cast<std::size_t>(r)], r);
+  }
+  // Ring (a single link when R == 2, none when R == 1)...
+  const int ring_links = R == 2 ? 1 : R;
+  for (int r = 0; r < ring_links && R > 1; ++r)
+    link(backbone[static_cast<std::size_t>(r)],
+         backbone[static_cast<std::size_t>((r + 1) % R)], Gbps(40),
+         milliseconds(2));
+  // ...plus express chords every router at stride ~√R, which caps the ring
+  // diameter at ~2√R hops. Stride 2 ≤ s ≤ R − 2 never duplicates a ring
+  // edge; when R == 2s each chord pair would appear twice, so only the
+  // first half of the ring adds one.
+  const int stride = static_cast<int>(std::floor(std::sqrt(R)));
+  if (R >= 5 && stride >= 2) {
+    for (int r = 0; r < R; ++r) {
+      if (2 * stride == R && r >= R / 2) continue;
+      link(backbone[static_cast<std::size_t>(r)],
+           backbone[static_cast<std::size_t>((r + stride) % R)], Gbps(40),
+           milliseconds(3));
+    }
+  }
+
+  // Pods: pod i is AS i + 1, domain R + i.
+  for (int i = 0; i < params.pods; ++i) {
+    const int as_id = i + 1;
+    const int domain = R + i;
+    const std::string prefix = "p" + std::to_string(i);
+    const auto pod_router = [&](const std::string& name) {
+      const NodeId id = net.add_router(prefix + name, as_id);
+      net.set_node_domain(id, domain);
+      return id;
+    };
+    const NodeId gw = pod_router("gw");
+    const NodeId d0 = pod_router("d0");
+    const NodeId d1 = pod_router("d1");
+    // Uplink (the pod's only inter-domain link; gw is the pod's border).
+    link(gw, backbone[static_cast<std::size_t>(i % R)], Gbps(10),
+         milliseconds(1));
+    // Redundant gateway/distribution triangle.
+    link(d0, gw, Gbps(10), milliseconds(0.5));
+    link(d1, gw, Gbps(10), milliseconds(0.5));
+    link(d0, d1, Gbps(10), milliseconds(0.5));
+    int host_index = 0;
+    for (int k = 0; k < params.access_per_pod; ++k) {
+      const NodeId access = pod_router("a" + std::to_string(k));
+      link(access, d0, Gbps(1), milliseconds(0.3));
+      link(access, d1, Gbps(1), milliseconds(0.3));
+      for (int t = 0; t < params.hosts_per_access; ++t) {
+        const NodeId host =
+            net.add_host(prefix + "h" + std::to_string(host_index++), as_id);
+        net.set_node_domain(host, domain);
+        link(host, access, Mbps(100), milliseconds(0.1));
+      }
+    }
+  }
+
+  validate_network(net);
+  return net;
+}
+
+HierarchyParams hierarchy_params_for_nodes(std::int64_t nodes) {
+  MASSF_REQUIRE(nodes >= 50, "hierarchy sizing needs a target of >= 50 nodes");
+  HierarchyParams p;
+  // Memory-optimal pod size: routing state is ~10·N·d bytes of per-domain
+  // tables plus ~8·(1.25·N/d)² border matrix for pod size d, minimized at
+  // d ≈ (2.5·N)^(1/3) (DESIGN.md §13 carries the derivation). The pod
+  // shape is 3 + access·(1 + hosts) nodes, so solve for the access count.
+  const double pod_target = std::cbrt(2.5 * static_cast<double>(nodes));
+  p.access_per_pod = std::max(
+      1, static_cast<int>(std::lround(
+             (pod_target - 3.0) / (1.0 + p.hosts_per_access))));
+  const double pod_size =
+      3.0 + p.access_per_pod * (1.0 + p.hosts_per_access);
+  // Each pod also contributes ~1/4 of a backbone router.
+  p.pods = std::max(2, static_cast<int>(std::lround(
+                           static_cast<double>(nodes) / (pod_size + 0.25))));
+  p.backbone_routers = std::max(3, p.pods / 4);
+  return p;
+}
+
+}  // namespace massf::topology

@@ -93,6 +93,29 @@ int Network::router_count() const {
   return static_cast<int>(routers().size());
 }
 
+void Network::set_node_domain(NodeId id, int domain) {
+  MASSF_REQUIRE(id >= 0 && id < node_count(), "node id out of range");
+  MASSF_REQUIRE(domain >= 0, "domain id must be non-negative");
+  nodes_[static_cast<std::size_t>(id)].domain_id = domain;
+}
+
+int Network::node_domain(NodeId id) const {
+  return node(id).domain_id;
+}
+
+int Network::domain_count() const {
+  int max_domain = 0;
+  for (const Node& n : nodes_) max_domain = std::max(max_domain, n.domain_id);
+  return max_domain + 1;
+}
+
+std::vector<int> Network::domain_of_nodes() const {
+  std::vector<int> out;
+  out.reserve(nodes_.size());
+  for (const Node& n : nodes_) out.push_back(n.domain_id);
+  return out;
+}
+
 int Network::as_count() const {
   // Sort + unique instead of a hash set: same complexity class for this
   // setup-time query, and massf-lint's unordered-container rule stays

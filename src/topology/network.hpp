@@ -28,6 +28,11 @@ struct Node {
   NodeKind kind = NodeKind::Host;
   std::string name;
   int as_id = 0;
+  /// Routing/partitioning domain (hierarchical locality unit). Defaults to
+  /// a single flat domain; hierarchical generators tag every node so the
+  /// hierarchical routing backend and the coarsen-once partitioner can
+  /// treat whole domains as units. Dense ids [0, domain_count()) expected.
+  int domain_id = 0;
 };
 
 /// One full-duplex virtual link.
@@ -69,6 +74,16 @@ class Network {
   std::vector<NodeId> routers() const;
   int host_count() const;
   int router_count() const;
+
+  /// Assign a node to a domain (see Node::domain_id).
+  void set_node_domain(NodeId id, int domain);
+  /// The node's domain id (0 when never assigned).
+  int node_domain(NodeId id) const;
+  /// Max domain id in use + 1 (1 for a flat network).
+  int domain_count() const;
+  /// Domain id per node, indexed by NodeId — the form the hierarchical
+  /// partitioner consumes.
+  std::vector<int> domain_of_nodes() const;
 
   /// Number of distinct AS ids in use.
   int as_count() const;

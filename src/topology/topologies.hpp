@@ -48,4 +48,37 @@ struct BriteParams {
 /// attached preferentially to low-degree routers.
 Network make_brite(const BriteParams& params);
 
+/// Parameters for the hierarchical AS/pod generator (million-node scale).
+struct HierarchyParams {
+  /// Backbone routers: a ring with ~√R express chords. Each is its own
+  /// routing domain (a singleton), keeping the border graph sparse.
+  int backbone_routers = 4;
+  /// Campus-like pods, each a routing domain hanging off the backbone.
+  int pods = 4;
+  /// Access routers per pod (dual-homed to the pod's two distribution
+  /// routers); each carries hosts_per_access hosts.
+  int access_per_pod = 4;
+  int hosts_per_access = 8;
+  /// Relative latency jitter: every link latency is scaled by a
+  /// deterministic factor in [1, 1 + jitter). ~1e-6 makes all shortest
+  /// paths unique (it dwarfs the ~1e-15 FP summation noise but perturbs
+  /// real latencies immeasurably), which is what lets the hierarchical and
+  /// dense routing backends pick bit-identical next hops. Set 0 to disable.
+  double latency_jitter = 1e-6;
+  std::uint64_t seed = 42;
+};
+
+/// Hierarchical wide-area network: `backbone_routers` in a chorded ring,
+/// `pods` three-tier campus subnets (1 gateway, 2 distribution routers, N
+/// dual-homed access routers, hosts) uplinked gateway → backbone round-
+/// robin. Every node is domain-tagged (backbone router r → domain r, pod i
+/// → domain backbone_routers + i) for hierarchical routing/partitioning.
+/// Pod i is AS i + 1; the backbone is AS 0.
+Network make_hierarchy(const HierarchyParams& params = {});
+
+/// Pick HierarchyParams yielding approximately `nodes` total nodes (within
+/// a few percent for nodes ≳ 500): default pod shape, pod count solved from
+/// the target, backbone ≈ pods / 4.
+HierarchyParams hierarchy_params_for_nodes(std::int64_t nodes);
+
 }  // namespace massf::topology

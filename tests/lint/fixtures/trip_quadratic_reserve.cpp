@@ -1,0 +1,22 @@
+// Fixture: quadratic-reserve must flag same-token X * X capacity requests.
+#include <cstddef>
+#include <vector>
+
+struct Net {
+  int node_count() const { return 8; }
+};
+
+void quadratic_capacities(int n, const Net& net) {
+  std::vector<int> hops;
+  hops.reserve(n * n);  // plain identifier squared
+
+  std::vector<int> links;
+  links.resize(static_cast<std::size_t>(n) * n);  // cast on one factor
+
+  std::vector<char> matrix;
+  matrix.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                0);  // cast on both factors
+
+  std::vector<int> table;
+  table.reserve(net.node_count() * net.node_count());  // member-call chain
+}

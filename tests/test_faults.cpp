@@ -9,6 +9,7 @@
 
 #include "emu/emulator.hpp"
 #include "fault/fault.hpp"
+#include "routing/hierarchical.hpp"
 #include "routing/routing.hpp"
 #include "topology/topologies.hpp"
 #include "traffic/gridnpb.hpp"
@@ -442,7 +443,8 @@ struct FaultRun {
   std::vector<EpochStats> epochs;
 };
 
-FaultRun run_campus_with_faults(const Network& net, const RoutingTables& tables,
+FaultRun run_campus_with_faults(const Network& net,
+                                const routing::RoutingView& tables,
                                 const FaultTimeline& timeline, int engines,
                                 des::ExecutionMode mode,
                                 des::SyncMode sync = des::SyncMode::GlobalWindow) {
@@ -590,6 +592,86 @@ TEST(FaultDeterminism, CampusRandomPlanIdenticalAcrossSyncModes) {
     EXPECT_GT(others[1].kernel.channel_advances, 0u);
     EXPECT_EQ(others[1].kernel.windows, 0u);
   }
+}
+
+// ---- Routing-backend identity: dense vs hierarchical tables ----
+//
+// The emulator forwards exclusively through the RoutingView interface
+// (next_link per hop), so swapping the dense n^2 tables for the
+// hierarchical backend must not change a single event: the kernel
+// history_hash has to be bit-identical under both sync protocols, and
+// the per-epoch fault accounting must agree.  The fault timeline is
+// rebuilt with each backend's own builder so epoch rerouting goes
+// through the backend under test as well.
+TEST(HierarchicalBackend, HistoryHashIdenticalToDenseAcrossSyncModes) {
+  topology::HierarchyParams hp;
+  hp.backbone_routers = 3;
+  hp.pods = 3;
+  hp.access_per_pod = 2;
+  hp.hosts_per_access = 2;
+  const Network net = topology::make_hierarchy(hp);
+
+  const RoutingTables dense = RoutingTables::build(net);
+  const routing::HierarchicalRoutingTables hier =
+      routing::HierarchicalRoutingTables::build(net);
+  ASSERT_GT(hier.domain_count(), 1);
+
+  RandomFaultParams params;
+  params.seed = 99;
+  params.horizon_s = 20.0;
+  params.link_faults = 2;
+  params.router_faults = 1;
+  params.mttr_s = 5.0;
+  const FaultPlan plan = FaultPlan::random(net, params);
+  ASSERT_GT(plan.size(), 0u);
+
+  const FaultTimeline dense_timeline(net, plan);
+  const FaultTimeline hier_timeline(
+      net, plan,
+      [](const Network& n, routing::Reachability* reach,
+         const std::vector<char>* links_up, const std::vector<char>* nodes_up,
+         const routing::RoutingView* previous)
+          -> std::shared_ptr<const routing::RoutingView> {
+        return std::make_shared<routing::HierarchicalRoutingTables>(
+            routing::HierarchicalRoutingTables::build_partial(
+                n, reach, links_up, nodes_up,
+                dynamic_cast<const routing::HierarchicalRoutingTables*>(
+                    previous)));
+      });
+  ASSERT_EQ(dense_timeline.epoch_count(), hier_timeline.epoch_count());
+
+  for (const des::SyncMode sync :
+       {des::SyncMode::GlobalWindow, des::SyncMode::ChannelLookahead}) {
+    SCOPED_TRACE(sync == des::SyncMode::GlobalWindow ? "GlobalWindow"
+                                                     : "ChannelLookahead");
+    const FaultRun d = run_campus_with_faults(
+        net, dense, dense_timeline, 2, des::ExecutionMode::Sequential, sync);
+    const FaultRun h = run_campus_with_faults(
+        net, hier, hier_timeline, 2, des::ExecutionMode::Sequential, sync);
+    EXPECT_EQ(d.kernel.history_hash, h.kernel.history_hash);
+    EXPECT_EQ(d.kernel.events_per_lp, h.kernel.events_per_lp);
+    EXPECT_EQ(d.emu.trains_delivered, h.emu.trains_delivered);
+    EXPECT_EQ(d.emu.trains_dropped_fault, h.emu.trains_dropped_fault);
+    EXPECT_EQ(d.emu.trains_dropped_unreachable,
+              h.emu.trains_dropped_unreachable);
+    EXPECT_EQ(d.emu.retransmissions, h.emu.retransmissions);
+    ASSERT_EQ(d.epochs.size(), h.epochs.size());
+    for (std::size_t e = 0; e < d.epochs.size(); ++e) {
+      SCOPED_TRACE(::testing::Message() << "epoch " << e);
+      EXPECT_EQ(d.epochs[e].trains_dropped_fault,
+                h.epochs[e].trains_dropped_fault);
+      EXPECT_EQ(d.epochs[e].trains_dropped_unreachable,
+                h.epochs[e].trains_dropped_unreachable);
+    }
+  }
+
+  // Threaded execution with the hierarchical backend stays deterministic
+  // and equal to its own sequential run (and hence to dense above).
+  const FaultRun seq = run_campus_with_faults(net, hier, hier_timeline, 2,
+                                              des::ExecutionMode::Sequential);
+  const FaultRun thr = run_campus_with_faults(net, hier, hier_timeline, 2,
+                                              des::ExecutionMode::Threaded);
+  EXPECT_EQ(seq.kernel.history_hash, thr.kernel.history_hash);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "partition/initial.hpp"
 #include "partition/partition.hpp"
 #include "partition/refine.hpp"
+#include "topology/topologies.hpp"
 #include "util/rng.hpp"
 
 namespace massf::partition {
@@ -272,6 +273,113 @@ TEST(Baselines, MultilevelBeatsBaselinesOnCut) {
   const double kcl = edge_cut(g, partition_greedy_kcluster(g, 8, 1));
   EXPECT_LT(ml, bfs * 1.05);
   EXPECT_LT(ml, kcl * 1.05);
+}
+
+// ---- Coarsen-once partitioning over domain-tagged graphs ----
+
+TEST(Hierarchical, ValidBalancedOnDomainTaggedTopology) {
+  topology::HierarchyParams hp;
+  hp.backbone_routers = 4;
+  hp.pods = 12;
+  hp.access_per_pod = 3;
+  hp.hosts_per_access = 4;
+  const topology::Network net = topology::make_hierarchy(hp);
+  const Graph g = net.to_graph();
+  PartitionOptions opts;
+  opts.parts = 8;
+  opts.seed = 11;
+  const PartitionResult r =
+      partition_hierarchical(g, net.domain_of_nodes(), opts);
+  validate_assignment(g, r.assignment, opts.parts);
+  EXPECT_GT(r.edge_cut, 0.0);
+  EXPECT_LE(r.worst_balance, 2.0);
+  std::vector<int> counts(static_cast<std::size_t>(opts.parts), 0);
+  for (int p : r.assignment) ++counts[static_cast<std::size_t>(p)];
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(Hierarchical, KeepsWholeSmallDomainsTogether) {
+  topology::HierarchyParams hp;
+  hp.backbone_routers = 3;
+  hp.pods = 16;
+  hp.access_per_pod = 2;
+  hp.hosts_per_access = 3;
+  const topology::Network net = topology::make_hierarchy(hp);
+  const Graph g = net.to_graph();
+  const std::vector<int> domain_of = net.domain_of_nodes();
+  PartitionOptions opts;
+  opts.parts = 4;
+  const PartitionResult r = partition_hierarchical(g, domain_of, opts);
+  validate_assignment(g, r.assignment, opts.parts);
+  // With 16 pods across 4 parts every pod is well under half a part's
+  // share, so no pod is split: all nodes of a pod land in one block.
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    if (domain_of[vi] < hp.backbone_routers) continue;  // backbone singleton
+    for (VertexId u = v + 1; u < g.vertex_count(); ++u) {
+      const std::size_t ui = static_cast<std::size_t>(u);
+      if (domain_of[ui] != domain_of[vi]) continue;
+      ASSERT_EQ(r.assignment[vi], r.assignment[ui])
+          << "domain " << domain_of[vi] << " split across blocks";
+    }
+  }
+}
+
+TEST(Hierarchical, SplitsOversizedDomains) {
+  // One giant domain holding everything: each chunk must stay under half a
+  // part's share, so the domain is carved up and the result stays balanced.
+  const Graph g = random_graph(600, 1.0, 5);
+  const std::vector<int> domain_of(600, 0);
+  PartitionOptions opts;
+  opts.parts = 4;
+  const PartitionResult r = partition_hierarchical(g, domain_of, opts);
+  validate_assignment(g, r.assignment, opts.parts);
+  EXPECT_LE(r.worst_balance, 2.0);
+  std::vector<int> counts(static_cast<std::size_t>(opts.parts), 0);
+  for (int p : r.assignment) ++counts[static_cast<std::size_t>(p)];
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(Hierarchical, FallsBackToMultilevelWhenTooFewGroups) {
+  // One vertex carries almost all the weight, so the single domain splits
+  // into just a few chunks — fewer groups than parts. The quotient would
+  // be infeasible, so the call must produce exactly the flat multilevel
+  // answer.
+  GraphBuilder b(1);
+  b.add_vertex(100.0);
+  for (int i = 1; i < 16; ++i) b.add_vertex(1.0);
+  for (int i = 1; i < 16; ++i) b.add_edge(i - 1, i, 1.0);
+  const Graph g = b.build();
+  const std::vector<int> domain_of(16, 0);
+  PartitionOptions opts;
+  opts.parts = 4;
+  opts.seed = 3;
+  const PartitionResult hier = partition_hierarchical(g, domain_of, opts);
+  const PartitionResult flat = partition_multilevel(g, opts);
+  EXPECT_EQ(hier.assignment, flat.assignment);
+  EXPECT_DOUBLE_EQ(hier.edge_cut, flat.edge_cut);
+}
+
+TEST(Hierarchical, DeterministicGivenSeedAndComparableToMultilevel) {
+  topology::HierarchyParams hp;
+  hp.backbone_routers = 4;
+  hp.pods = 10;
+  hp.access_per_pod = 2;
+  hp.hosts_per_access = 4;
+  const topology::Network net = topology::make_hierarchy(hp);
+  const Graph g = net.to_graph();
+  const std::vector<int> domain_of = net.domain_of_nodes();
+  PartitionOptions opts;
+  opts.parts = 5;
+  opts.seed = 17;
+  const PartitionResult a = partition_hierarchical(g, domain_of, opts);
+  const PartitionResult b = partition_hierarchical(g, domain_of, opts);
+  EXPECT_EQ(a.assignment, b.assignment);
+  // Coarsen-once must stay in the same quality ballpark as the full
+  // multilevel pipeline on a topology that matches its assumptions.
+  const PartitionResult ml = partition_multilevel(g, opts);
+  EXPECT_LE(a.edge_cut, 2.0 * ml.edge_cut + 1e-9);
+  EXPECT_LE(a.worst_balance, 2.0);
 }
 
 }  // namespace

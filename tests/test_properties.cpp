@@ -7,6 +7,7 @@
 #include "emu/emulator.hpp"
 #include "partition/multiobjective.hpp"
 #include "partition/partition.hpp"
+#include "routing/hierarchical.hpp"
 #include "routing/routing.hpp"
 #include "topology/topologies.hpp"
 #include "util/rng.hpp"
@@ -201,6 +202,94 @@ TEST_P(TrainSweep, PacketAccountingInvariantUnderTrainSize) {
 
 INSTANTIATE_TEST_SUITE_P(TrainSizes, TrainSweep,
                          ::testing::Values(1, 2, 4, 8, 30, 64));
+
+// ---------------------------------------------------------------------------
+// Hierarchical vs dense routing under randomized topologies and masks.
+// ---------------------------------------------------------------------------
+
+TEST(HierarchicalRoutingProperty, AgreesWithDenseUnderRandomMasks) {
+  // Randomized hierarchy shapes × random link/node outages: the two
+  // backends must produce identical component labels and — shortest paths
+  // being unique under the generator's jitter — identical next hops.
+  Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 8; ++trial) {
+    topology::HierarchyParams params;
+    params.backbone_routers = static_cast<int>(rng.next_int(1, 6));
+    params.pods = static_cast<int>(rng.next_int(2, 6));
+    params.access_per_pod = static_cast<int>(rng.next_int(1, 3));
+    params.hosts_per_access = static_cast<int>(rng.next_int(1, 3));
+    params.seed = rng();
+    const topology::Network net = topology::make_hierarchy(params);
+
+    std::vector<char> links_up(static_cast<std::size_t>(net.link_count()), 1);
+    std::vector<char> nodes_up(static_cast<std::size_t>(net.node_count()), 1);
+    // Take down ~8% of links and one router (never a host: hosts keep
+    // their only access link semantics out of the comparison's way).
+    for (auto& up : links_up)
+      if (rng.next_bool(0.08)) up = 0;
+    const auto routers = net.routers();
+    nodes_up[static_cast<std::size_t>(rng.pick(routers))] = 0;
+
+    routing::Reachability hier_reach;
+    const auto hier = routing::HierarchicalRoutingTables::build_partial(
+        net, &hier_reach, &links_up, &nodes_up);
+    routing::Reachability dense_reach;
+    const auto dense = routing::RoutingTables::build_partial(
+        net, &dense_reach, &links_up, &nodes_up);
+
+    ASSERT_EQ(hier_reach.component, dense_reach.component)
+        << "trial " << trial;
+    for (topology::NodeId s = 0; s < net.node_count(); ++s)
+      for (topology::NodeId t = 0; t < net.node_count(); ++t) {
+        ASSERT_EQ(hier.next_hop(s, t), dense.next_hop(s, t))
+            << "trial " << trial << " pair (" << s << ", " << t << ")";
+        ASSERT_EQ(hier.next_link(s, t), dense.next_link(s, t))
+            << "trial " << trial << " pair (" << s << ", " << t << ")";
+      }
+  }
+}
+
+TEST(HierarchicalRoutingProperty, EqualLatencyUnderRandomMasksWithoutJitter) {
+  // With jitter disabled equal-cost multipath is everywhere; hop choices
+  // may differ but distances and reachability must still agree exactly.
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 4; ++trial) {
+    topology::HierarchyParams params;
+    params.backbone_routers = static_cast<int>(rng.next_int(2, 5));
+    params.pods = static_cast<int>(rng.next_int(2, 5));
+    params.access_per_pod = 2;
+    params.hosts_per_access = 1;
+    params.latency_jitter = 0;
+    params.seed = rng();
+    const topology::Network net = topology::make_hierarchy(params);
+
+    std::vector<char> links_up(static_cast<std::size_t>(net.link_count()), 1);
+    for (auto& up : links_up)
+      if (rng.next_bool(0.05)) up = 0;
+
+    routing::Reachability hier_reach;
+    const auto hier = routing::HierarchicalRoutingTables::build_partial(
+        net, &hier_reach, &links_up);
+    routing::Reachability dense_reach;
+    const auto dense = routing::RoutingTables::build_partial(
+        net, &dense_reach, &links_up);
+    ASSERT_EQ(hier_reach.component, dense_reach.component);
+
+    for (topology::NodeId s = 0; s < net.node_count(); s += 2)
+      for (topology::NodeId t = 0; t < net.node_count(); t += 3) {
+        if (s == t || !hier_reach.pair_reachable(s, t)) {
+          if (s != t) {
+            ASSERT_EQ(hier.next_hop(s, t), -1);
+          }
+          continue;
+        }
+        const double expected = dense.path_latency(net, s, t);
+        ASSERT_NEAR(hier.path_latency(net, s, t), expected,
+                    1e-12 + expected * 1e-12)
+            << "trial " << trial << " pair (" << s << ", " << t << ")";
+      }
+  }
+}
 
 }  // namespace
 }  // namespace massf

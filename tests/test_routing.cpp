@@ -2,9 +2,11 @@
 // determinism, and flow aggregation.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "graph/algorithms.hpp"
+#include "routing/hierarchical.hpp"
 #include "routing/routing.hpp"
 #include "topology/topologies.hpp"
 
@@ -13,8 +15,18 @@ namespace {
 
 using topology::make_brite;
 using topology::make_campus;
+using topology::make_hierarchy;
 using topology::make_teragrid;
 using topology::Network;
+
+topology::HierarchyParams small_hierarchy() {
+  topology::HierarchyParams params;
+  params.backbone_routers = 5;
+  params.pods = 4;
+  params.access_per_pod = 2;
+  params.hosts_per_access = 2;
+  return params;
+}
 
 TEST(Routing, DirectNeighborsRouteDirectly) {
   const Network net = make_campus();
@@ -239,6 +251,207 @@ TEST(RoutingPartial, MasksRemoveLinksAndNodes) {
   const NodeId core0 = net.find_node("core0");
   EXPECT_FALSE(cut.pair_reachable(acc0, core0));
   EXPECT_EQ(tables.next_hop(acc0, core0), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical backend vs dense: the drop-in-replacement contract.
+// ---------------------------------------------------------------------------
+
+TEST(HierarchicalRouting, BitIdenticalToDenseOnJitteredHierarchy) {
+  // The generator's latency jitter makes every shortest path unique, so
+  // both backends must pick the same next hop AND the same link everywhere.
+  const Network net = make_hierarchy(small_hierarchy());
+  const RoutingTables dense = RoutingTables::build(net);
+  const HierarchicalRoutingTables hier = HierarchicalRoutingTables::build(net);
+  ASSERT_EQ(hier.node_count(), dense.node_count());
+  for (NodeId s = 0; s < net.node_count(); ++s)
+    for (NodeId t = 0; t < net.node_count(); ++t) {
+      ASSERT_EQ(hier.next_hop(s, t), dense.next_hop(s, t))
+          << "next_hop mismatch at (" << s << ", " << t << ")";
+      ASSERT_EQ(hier.next_link(s, t), dense.next_link(s, t))
+          << "next_link mismatch at (" << s << ", " << t << ")";
+    }
+}
+
+TEST(HierarchicalRouting, DistanceMatchesDensePathLatency) {
+  const Network net = make_hierarchy(small_hierarchy());
+  const RoutingTables dense = RoutingTables::build(net);
+  const HierarchicalRoutingTables hier = HierarchicalRoutingTables::build(net);
+  for (NodeId s = 0; s < net.node_count(); s += 3)
+    for (NodeId t = 0; t < net.node_count(); t += 2) {
+      const double expected =
+          s == t ? 0.0 : dense.path_latency(net, s, t);
+      EXPECT_NEAR(hier.distance(s, t), expected, 1e-12 + expected * 1e-12)
+          << "distance mismatch at (" << s << ", " << t << ")";
+    }
+}
+
+TEST(HierarchicalRouting, EqualLatencyRoutesWithoutJitter) {
+  // With jitter off the topology has massive equal-cost multipath; the
+  // backends may pick different (equally short) hops, but every chosen
+  // route must have the same total latency and the same reachability.
+  topology::HierarchyParams params = small_hierarchy();
+  params.latency_jitter = 0;
+  const Network net = make_hierarchy(params);
+  const RoutingTables dense = RoutingTables::build(net);
+  const HierarchicalRoutingTables hier = HierarchicalRoutingTables::build(net);
+  for (NodeId s = 0; s < net.node_count(); s += 2)
+    for (NodeId t = 0; t < net.node_count(); t += 3) {
+      if (s == t) continue;
+      // Walking the hierarchical next hops must terminate (loop-free) and
+      // accumulate exactly the dense shortest-path latency.
+      const double expected = dense.path_latency(net, s, t);
+      EXPECT_NEAR(hier.path_latency(net, s, t), expected,
+                  1e-12 + expected * 1e-12);
+    }
+}
+
+TEST(HierarchicalRouting, BuildPartialSharesUntouchedDomains) {
+  const Network net = make_hierarchy(small_hierarchy());
+  const HierarchicalRoutingTables full =
+      HierarchicalRoutingTables::build_partial(net);
+  const int domains = full.domain_count();
+
+  // Kill one intra-pod link (an access router's first uplink in pod 0):
+  // only that pod's DomainTable changes; every other domain is donated.
+  const NodeId acc = net.find_node("p0a0");
+  ASSERT_GE(acc, 0);
+  std::vector<char> links_up(static_cast<std::size_t>(net.link_count()), 1);
+  links_up[static_cast<std::size_t>(net.incident_links(acc).front())] = 0;
+
+  Reachability reach;
+  const HierarchicalRoutingTables degraded =
+      HierarchicalRoutingTables::build_partial(net, &reach, &links_up,
+                                               nullptr, &full);
+  EXPECT_EQ(degraded.shared_domains(), domains - 1);
+  EXPECT_TRUE(reach.fully_connected());  // acc is dual-homed
+
+  // The degraded tables must agree with a dense partial build everywhere.
+  Reachability dense_reach;
+  const RoutingTables dense =
+      RoutingTables::build_partial(net, &dense_reach, &links_up);
+  EXPECT_EQ(reach.component, dense_reach.component);
+  for (NodeId s = 0; s < net.node_count(); ++s)
+    for (NodeId t = 0; t < net.node_count(); ++t)
+      ASSERT_EQ(degraded.next_hop(s, t), dense.next_hop(s, t))
+          << "degraded mismatch at (" << s << ", " << t << ")";
+}
+
+TEST(HierarchicalRouting, UplinkDownCutsThePodAndSharesAllDomains) {
+  const Network net = make_hierarchy(small_hierarchy());
+  const HierarchicalRoutingTables full =
+      HierarchicalRoutingTables::build_partial(net);
+
+  // The pod's single uplink is an inter-domain link: no domain's masks
+  // change, so every DomainTable is donated — only the border graph and
+  // reachability are recomputed.
+  const NodeId gw = net.find_node("p0gw");
+  ASSERT_GE(gw, 0);
+  std::vector<char> links_up(static_cast<std::size_t>(net.link_count()), 1);
+  bool cut_one = false;
+  for (topology::LinkId l : net.incident_links(gw)) {
+    const NodeId other = net.link_other_end(l, gw);
+    if (net.node(other).name.rfind("bb", 0) == 0) {
+      links_up[static_cast<std::size_t>(l)] = 0;
+      cut_one = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(cut_one);
+
+  Reachability reach;
+  const HierarchicalRoutingTables degraded =
+      HierarchicalRoutingTables::build_partial(net, &reach, &links_up,
+                                               nullptr, &full);
+  EXPECT_EQ(degraded.shared_domains(), degraded.domain_count());
+  EXPECT_FALSE(reach.fully_connected());
+  EXPECT_EQ(reach.component_count, 2);
+
+  const NodeId far = net.find_node("p1gw");
+  ASSERT_GE(far, 0);
+  EXPECT_FALSE(reach.pair_reachable(gw, far));
+  EXPECT_EQ(degraded.next_hop(gw, far), -1);
+  EXPECT_EQ(degraded.next_link(gw, far), -1);
+  // Intra-pod routing still works.
+  const NodeId host = net.find_node("p0h0");
+  ASSERT_GE(host, 0);
+  EXPECT_TRUE(reach.pair_reachable(gw, host));
+  EXPECT_GE(degraded.next_hop(gw, host), 0);
+
+  Reachability dense_reach;
+  RoutingTables::build_partial(net, &dense_reach, &links_up);
+  EXPECT_EQ(reach.component, dense_reach.component);
+}
+
+TEST(HierarchicalRouting, RouterDownMatchesDensePartial) {
+  const Network net = make_hierarchy(small_hierarchy());
+  // Take down one distribution router; the pod reroutes via the other.
+  const NodeId d0 = net.find_node("p2d0");
+  ASSERT_GE(d0, 0);
+  std::vector<char> nodes_up(static_cast<std::size_t>(net.node_count()), 1);
+  nodes_up[static_cast<std::size_t>(d0)] = 0;
+
+  Reachability reach;
+  const HierarchicalRoutingTables hier =
+      HierarchicalRoutingTables::build_partial(net, &reach, nullptr,
+                                               &nodes_up);
+  Reachability dense_reach;
+  const RoutingTables dense =
+      RoutingTables::build_partial(net, &dense_reach, nullptr, &nodes_up);
+  EXPECT_EQ(reach.component, dense_reach.component);
+  for (NodeId s = 0; s < net.node_count(); ++s)
+    for (NodeId t = 0; t < net.node_count(); ++t)
+      ASSERT_EQ(hier.next_hop(s, t), dense.next_hop(s, t))
+          << "router-down mismatch at (" << s << ", " << t << ")";
+}
+
+TEST(HierarchicalRouting, MemoryIsFarBelowDense) {
+  topology::HierarchyParams params = small_hierarchy();
+  params.pods = 24;
+  params.access_per_pod = 4;
+  const Network net = make_hierarchy(params);
+  const RoutingTables dense = RoutingTables::build(net);
+  const HierarchicalRoutingTables hier = HierarchicalRoutingTables::build(net);
+  EXPECT_LT(hier.memory_bytes(), dense.memory_bytes() / 2);
+  EXPECT_EQ(dense.memory_bytes(),
+            RoutingTables::projected_bytes(net.node_count()));
+}
+
+TEST(HierarchicalRouting, FactoryPicksBackendBySizeAndStructure) {
+  // Flat campus: no domain structure → dense regardless of size.
+  const Network campus = make_campus();
+  const auto flat = make_routing_view(campus);
+  EXPECT_NE(dynamic_cast<const RoutingTables*>(flat.get()), nullptr);
+
+  const Network net = make_hierarchy(small_hierarchy());
+  // Below the threshold → dense.
+  const auto small = make_routing_view(net);
+  EXPECT_NE(dynamic_cast<const RoutingTables*>(small.get()), nullptr);
+  // Forced low threshold → hierarchical, and it answers identically.
+  RoutingViewOptions options;
+  options.dense_threshold = 1;
+  const auto hier = make_routing_view(net, nullptr, nullptr, nullptr, options);
+  ASSERT_NE(dynamic_cast<const HierarchicalRoutingTables*>(hier.get()),
+            nullptr);
+  for (NodeId s = 0; s < net.node_count(); s += 5)
+    for (NodeId t = 0; t < net.node_count(); t += 3)
+      EXPECT_EQ(hier->next_hop(s, t), small->next_hop(s, t));
+}
+
+TEST(HierarchicalRouting, RouteWalksMatchDenseAndScratchVariantAgrees) {
+  const Network net = make_hierarchy(small_hierarchy());
+  const RoutingTables dense = RoutingTables::build(net);
+  const HierarchicalRoutingTables hier = HierarchicalRoutingTables::build(net);
+  std::vector<NodeId> scratch;
+  std::vector<topology::LinkId> link_scratch;
+  for (NodeId s = 0; s < net.node_count(); s += 7)
+    for (NodeId t = 0; t < net.node_count(); t += 5) {
+      EXPECT_EQ(hier.route(s, t), dense.route(s, t));
+      hier.route_into(s, t, scratch);
+      EXPECT_EQ(scratch, dense.route(s, t));
+      hier.route_links_into(s, t, link_scratch);
+      EXPECT_EQ(link_scratch, dense.route_links(s, t));
+    }
 }
 
 }  // namespace

@@ -231,5 +231,101 @@ TEST(NetDesc, RoundTripsEveryTopology) {
   }
 }
 
+// ---- Hierarchical AS/pod generator (the million-node-scale topology) ----
+
+TEST(Hierarchy, MatchesClosedFormCounts) {
+  const HierarchyParams p;  // 4 backbone, 4 pods, 4 access, 8 hosts/access
+  const Network net = make_hierarchy(p);
+  // Nodes: R backbone + per pod (gw + d0 + d1 + access·(1 + hosts)).
+  EXPECT_EQ(net.node_count(), 4 + 4 * (3 + 4 * (1 + 8)));
+  // Links: ring of R (R = 4 < 5 adds no express chords) + per pod
+  // (uplink + triangle + access·(2 dual-home + hosts)).
+  EXPECT_EQ(net.link_count(), 4 + 4 * (1 + 3 + 4 * (2 + 8)));
+  EXPECT_TRUE(graph::is_connected(net.to_graph()));
+}
+
+TEST(Hierarchy, DomainAndAsTags) {
+  HierarchyParams p;
+  p.backbone_routers = 3;
+  p.pods = 5;
+  const Network net = make_hierarchy(p);
+  // Backbone router r is singleton domain r in AS 0; pod i is domain R + i
+  // in AS i + 1, and every domain id is used.
+  EXPECT_EQ(net.domain_count(), 3 + 5);
+  const std::vector<int> domain_of = net.domain_of_nodes();
+  for (int r = 0; r < 3; ++r) {
+    const NodeId id = net.find_node("bb" + std::to_string(r));
+    ASSERT_GE(id, 0);
+    EXPECT_EQ(domain_of[static_cast<std::size_t>(id)], r);
+    EXPECT_EQ(net.node(id).as_id, 0);
+  }
+  for (NodeId v = 0; v < net.node_count(); ++v) {
+    if (net.node(v).name.rfind("bb", 0) == 0) continue;
+    const int pod = net.node(v).as_id - 1;
+    ASSERT_GE(pod, 0) << net.node(v).name;
+    EXPECT_EQ(domain_of[static_cast<std::size_t>(v)], 3 + pod)
+        << net.node(v).name;
+  }
+}
+
+TEST(Hierarchy, DegenerateAndChordedBackbones) {
+  // R = 1: no backbone links at all; R = 2: one link, not a doubled ring.
+  for (const int r : {1, 2}) {
+    HierarchyParams p;
+    p.backbone_routers = r;
+    p.pods = 2;
+    p.access_per_pod = 1;
+    p.hosts_per_access = 1;
+    const Network net = make_hierarchy(p);
+    EXPECT_EQ(net.link_count(), (r == 1 ? 0 : 1) + 2 * (1 + 3 + 1 * (2 + 1)));
+    EXPECT_TRUE(graph::is_connected(net.to_graph()));
+  }
+  // R = 9: stride-3 express chords, one per router, on top of the ring.
+  HierarchyParams p;
+  p.backbone_routers = 9;
+  p.pods = 2;
+  p.access_per_pod = 1;
+  p.hosts_per_access = 1;
+  const Network net = make_hierarchy(p);
+  EXPECT_EQ(net.link_count(), 9 + 9 + 2 * (1 + 3 + 1 * (2 + 1)));
+  EXPECT_TRUE(graph::is_connected(net.to_graph()));
+}
+
+TEST(Hierarchy, JitterIsDeterministicAndOptional) {
+  const Network a = make_hierarchy({});
+  const Network b = make_hierarchy({});
+  for (LinkId l = 0; l < a.link_count(); ++l)
+    EXPECT_DOUBLE_EQ(a.link(l).latency_s, b.link(l).latency_s);
+  HierarchyParams reseeded;
+  reseeded.seed = 7;
+  const Network c = make_hierarchy(reseeded);
+  int differing = 0;
+  for (LinkId l = 0; l < a.link_count(); ++l)
+    if (a.link(l).latency_s != c.link(l).latency_s) ++differing;
+  EXPECT_GT(differing, 0);
+  // jitter = 0 reproduces the exact base latencies (e.g. 2 ms ring links).
+  HierarchyParams flat;
+  flat.latency_jitter = 0.0;
+  const Network d = make_hierarchy(flat);
+  EXPECT_DOUBLE_EQ(d.link(0).latency_s, milliseconds(2));
+}
+
+TEST(Hierarchy, SizingHitsTargetApproximately) {
+  for (const std::int64_t target : {1000, 10000, 50000}) {
+    const HierarchyParams p = hierarchy_params_for_nodes(target);
+    const std::int64_t nodes =
+        p.backbone_routers +
+        static_cast<std::int64_t>(p.pods) *
+            (3 + p.access_per_pod * (1 + p.hosts_per_access));
+    EXPECT_NEAR(static_cast<double>(nodes), static_cast<double>(target),
+                0.10 * static_cast<double>(target))
+        << "target " << target;
+  }
+  // Built networks match the closed form (spot-check one size).
+  const Network net = make_hierarchy(hierarchy_params_for_nodes(1000));
+  EXPECT_NEAR(static_cast<double>(net.node_count()), 1000.0, 100.0);
+  EXPECT_TRUE(graph::is_connected(net.to_graph()));
+}
+
 }  // namespace
 }  // namespace massf::topology

@@ -32,6 +32,12 @@ Rules
                        discarded in src/ — a short write that nobody checks
                        turns a crash-safe checkpoint into a torn one; check
                        the result (or cast to void on audited cleanup paths)
+  quadratic-reserve    same-token X * X capacity requests
+                       (.reserve/.resize/.assign) in src/ outside
+                       src/routing — an O(n²) allocation silently caps the
+                       emulator at ~10⁴ nodes; quadratic state is allowed
+                       only in the dense routing tables, which the
+                       hierarchical backend replaces at scale
 
 Suppression
 -----------
@@ -161,6 +167,20 @@ RULES: dict[str, Rule] = {
             # *begins* with the call, so nothing consumes the result.
             # Assignments, conditions, comparisons, explicit (void) casts,
             # and continuation lines of a wrapped condition don't match.
+        ),
+        Rule(
+            name="quadratic-reserve",
+            dirs=("src",),
+            exempt=("src/routing",),
+            description=("same-token X * X capacity request (reserve/resize/"
+                         "assign): an O(n²) allocation caps the emulator at "
+                         "~10^4 nodes — quadratic state belongs only in the "
+                         "dense routing tables (src/routing is exempt), "
+                         "which the hierarchical backend supersedes at "
+                         "scale"),
+            # Custom checker (check_quadratic_reserve): both factors must be
+            # the *same* token (modulo a static_cast wrapper), so rectangular
+            # rows * cols sizing never trips.
         ),
     ]
 }
@@ -308,6 +328,30 @@ def check_unchecked_io(code_lines: list[str]) -> list[tuple[int, str]]:
     return findings
 
 
+# An identifier chain (a, obj.n, net->node_count(), Grid::kSide), optionally
+# with empty call parens; anything with real arguments is too complex to
+# prove equal and is left alone.
+QUADRATIC_TOKEN = r"[A-Za-z_]\w*(?:(?:\.|->|::)[A-Za-z_]\w*)*(?:\(\s*\))?"
+QUADRATIC_RESERVE_RE = re.compile(
+    r"\.(?:reserve|resize|assign)\s*\(\s*"
+    r"(?:static_cast<[^<>]*>\s*\(\s*)?"
+    rf"({QUADRATIC_TOKEN})\s*\)?\s*\*\s*"
+    r"(?:static_cast<[^<>]*>\s*\(\s*)?"
+    rf"({QUADRATIC_TOKEN})")
+
+
+def check_quadratic_reserve(code_lines: list[str]) -> list[tuple[int, str]]:
+    """Flag .reserve/.resize/.assign whose size expression multiplies a token
+    by itself (optionally through static_cast): a capacity that is quadratic
+    in one dimension."""
+    findings: list[tuple[int, str]] = []
+    for idx, line in enumerate(code_lines, start=1):
+        m = QUADRATIC_RESERVE_RE.search(line)
+        if m and m.group(1) == m.group(2):
+            findings.append((idx, line))
+    return findings
+
+
 def lint_file(path: str, rel: str, active: list[Rule]) -> list[Finding]:
     with open(path, encoding="utf-8", errors="replace") as fh:
         raw_lines = fh.read().splitlines()
@@ -320,6 +364,8 @@ def lint_file(path: str, rel: str, active: list[Rule]) -> list[Finding]:
             hits = check_atomic_alignment(code_lines)
         elif rule.name == "unchecked-io":
             hits = check_unchecked_io(code_lines)
+        elif rule.name == "quadratic-reserve":
+            hits = check_quadratic_reserve(code_lines)
         else:
             hits = []
             for idx, line in enumerate(code_lines, start=1):
@@ -340,7 +386,7 @@ def rules_for(rel: str, only: str | None, no_dir_filter: bool) -> list[Rule]:
     for rule in RULES.values():
         if only is not None and rule.name != only:
             continue
-        if rel in rule.exempt:
+        if any(rel == e or rel.startswith(e + "/") for e in rule.exempt):
             continue
         if not no_dir_filter and not any(
                 rel == d or rel.startswith(d + "/") for d in rule.dirs):
