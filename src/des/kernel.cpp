@@ -267,7 +267,14 @@ struct Kernel::Impl {
   std::uint32_t flush_threshold = 1;
 
   explicit Impl(int lp_count) : lps(static_cast<std::size_t>(lp_count)) {
-    for (Lp& lp : lps) lp.outbox.resize(static_cast<std::size_t>(lp_count));
+    for (Lp& lp : lps) {
+      lp.outbox.resize(static_cast<std::size_t>(lp_count));
+      // Pre-size the per-packet-send vectors so the first window pays no
+      // allocations: dirty_dsts holds at most one entry per destination
+      // engine, and each outbox batch publishes at kOutboxFlushEvents.
+      lp.dirty_dsts.reserve(static_cast<std::size_t>(lp_count));
+      for (Outbox& box : lp.outbox) box.events.reserve(kOutboxFlushEvents);
+    }
     // massf-lint: allow(quadratic-reserve) — engine-count², not node-count².
     channel_of.assign(lps.size() * lps.size(), -1);
   }
@@ -376,6 +383,8 @@ struct Kernel::Impl {
   /// Shared per-event accounting + dispatch (sink for packet events,
   /// callback otherwise). `inv_bucket_width` is the precomputed reciprocal:
   /// a multiply here instead of a divide per event.
+  // massf-analyze: hot-path-root (the per-event dispatch loop)
+  // massf-analyze: determinism-root (mixes lp.history via hash_mix)
   void execute_event(Lp& lp, Event& e, double per_event_cost,
                      double inv_bucket_width, EventSink* sink) {
     tl_now = e.t;
@@ -400,6 +409,7 @@ struct Kernel::Impl {
   /// pending_sources. Must run single-threaded (sequential inter-phase, or
   /// the barrier completion function in threaded mode); iterating senders
   /// in index order keeps pending_sources ascending in both modes.
+  // massf-analyze: hot-path-root (outbox flush, runs once per window)
   void flush_dirty_senders() {
     for (std::size_t s = 0; s < lps.size(); ++s) {
       Lp& sender = lps[s];
@@ -449,12 +459,15 @@ struct Kernel::Impl {
 
   /// Deliver pending outbox slots into dst's queue (GlobalWindow drain
   /// phase). Only senders recorded in pending_sources are visited.
+  // massf-analyze: hot-path-root (mailbox drain, runs once per window)
   void drain_inboxes(std::size_t dst, double per_remote_cost) {
     Lp& receiver = lps[dst];
     if (receiver.pending_sources.empty()) return;
     receiver.scratch.clear();
     for (std::uint32_t src : receiver.pending_sources) {
       Outbox& box = lps[src].outbox[dst];
+      // massf-analyze: allow(hot-path-alloc) — scratch keeps its capacity
+      // across windows (clear() never shrinks); steady state reuses it.
       receiver.scratch.insert(receiver.scratch.end(), box.events.begin(),
                               box.events.end());
       box.events.clear();
@@ -475,6 +488,8 @@ struct Kernel::Impl {
     }
     // Cold path: the steady state recycles. Owned by the channel queue
     // until the ~Impl sweep.
+    // massf-analyze: allow(hot-path-alloc) — node-pool refill, runs only
+    // until the free list reaches the in-flight high-water mark.
     return new Channel::RunNode;  // massf-lint: allow(raw-new)
   }
 
@@ -545,6 +560,8 @@ struct Kernel::Impl {
     if (next == nullptr) return;
     receiver.scratch.clear();
     do {
+      // massf-analyze: allow(hot-path-alloc) — scratch keeps its capacity
+      // across drains (clear() never shrinks); steady state reuses it.
       receiver.scratch.insert(receiver.scratch.end(), next->events.begin(),
                               next->events.end());
       next->events.clear();  // keep the capacity; the node recycles
@@ -568,6 +585,7 @@ struct Kernel::Impl {
   /// with every worker parked. Receive costs are folded straight into
   /// busy_total, which both renditions keep folded at their quiescent
   /// points (window_busy is 0 on entry).
+  // massf-analyze: hot-path-root (channel drain, runs once per window)
   void drain_all_channels(double per_remote_cost) {
     for (std::size_t s = 0; s < lps.size(); ++s) flush_channels(s, true);
     for (auto& chp : channels)
@@ -707,6 +725,7 @@ void Kernel::schedule(int lp, SimTime t, Callback fn, std::int32_t key) {
                     new Callback(std::move(fn))});  // massf-lint: allow(raw-new)
 }
 
+// massf-analyze: hot-path-root (per-packet local enqueue)
 void Kernel::schedule_packet(int lp, SimTime t, PacketEvent event) {
   check_local_target(lp, lp_count_, t);
   MASSF_REQUIRE(sink_ != nullptr,
@@ -733,6 +752,7 @@ void Kernel::schedule_remote(int to_lp, SimTime t, Callback fn,
   ++sender.remote_sent;
 }
 
+// massf-analyze: hot-path-root (per-packet cross-engine enqueue)
 void Kernel::schedule_packet_remote(int to_lp, SimTime t, PacketEvent event) {
   check_remote_target(to_lp, lp_count_, t, remote_lookahead(to_lp));
   MASSF_REQUIRE(sink_ != nullptr,
@@ -854,6 +874,7 @@ std::uint64_t Kernel::events_executed(int lp) const {
 
 // ---- Checkpoint / restore -------------------------------------------------
 
+// massf-analyze: determinism-root (every byte written must be reproducible)
 void Kernel::save_checkpoint(
     ckpt::Writer& w,
     const std::function<void(ckpt::Writer&, const PacketEvent&)>& save_payload)

@@ -23,6 +23,8 @@ void NetFlowCollector::record_node(NodeId node, const Packet& packet,
 
   auto& buckets = node_buckets_[static_cast<std::size_t>(node)];
   const auto bucket = static_cast<std::size_t>(t / bucket_width_);
+  // massf-analyze: allow(hot-path-alloc) — time-bucket growth: one
+  // high-water resize per bucket width of sim time, doubling-amortized.
   if (buckets.size() <= bucket) buckets.resize(bucket + 1, 0.0);
   buckets[bucket] += packet.packets;
 

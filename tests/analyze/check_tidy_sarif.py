@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Self-test for tools/tidy_sarif.py, the clang-tidy gating shim.
+
+clang-tidy itself is not required: the parser is exercised against a
+canned run-clang-tidy log (diagnostics, duplicate header repeats, noise
+lines), and the checks cover parsing, dedup, baseline suppression,
+line-number-free baseline keys, SARIF structure, and exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+TIDY_SARIF = os.path.join(REPO, "tools", "tidy_sarif.py")
+
+CANNED_LOG = """\
+Enabled checks:
+    bugprone-use-after-move
+    performance-unnecessary-copy-initialization
+
+/work/repo/src/des/kernel.cpp:120:5: warning: 'impl' used after it was \
+moved [bugprone-use-after-move]
+/work/repo/src/util/log.hpp:31:10: warning: the parameter 'sink' is \
+copied for each invocation [performance-unnecessary-copy-initialization]
+/work/repo/src/util/log.hpp:31:10: warning: the parameter 'sink' is \
+copied for each invocation [performance-unnecessary-copy-initialization]
+note: this fix will not be applied because it overlaps with another fix
+1437 warnings generated.
+Suppressed 1435 warnings (1435 in non-user code).
+"""
+
+
+def run(extra: list[str], stdin: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, TIDY_SARIF, "--root", "/work/repo"] + extra,
+        input=stdin, capture_output=True, text=True, check=False)
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    checked = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        sarif_path = os.path.join(tmp, "tidy.sarif")
+
+        # Findings parse, dedup (the header diagnostic repeats), and gate.
+        proc = run(["--sarif", sarif_path], CANNED_LOG)
+        if proc.returncode != 1:
+            fail(f"expected exit 1 on findings, got {proc.returncode}\n"
+                 f"{proc.stdout}{proc.stderr}")
+        lines = [l for l in proc.stdout.splitlines() if l]
+        if len(lines) != 2:
+            fail(f"expected 2 deduped findings, got: {lines}")
+        if "src/des/kernel.cpp:120" not in lines[0] \
+                or "bugprone-use-after-move" not in lines[0]:
+            fail(f"first finding malformed: {lines[0]}")
+        checked += 1
+
+        with open(sarif_path, encoding="utf-8") as fh:
+            sarif = json.load(fh)
+        if sarif["version"] != "2.1.0":
+            fail(f"sarif version {sarif['version']!r}")
+        run0 = sarif["runs"][0]
+        if run0["tool"]["driver"]["name"] != "clang-tidy":
+            fail("sarif driver name wrong")
+        if len(run0["results"]) != 2:
+            fail(f"sarif results: {len(run0['results'])}")
+        uris = {r["locations"][0]["physicalLocation"]["artifactLocation"]
+                ["uri"] for r in run0["results"]}
+        if uris != {"src/des/kernel.cpp", "src/util/log.hpp"}:
+            fail(f"sarif uris not relativized: {uris}")
+        checked += 1
+
+        # Baseline round-trip: recorded keys silence an identical log, and
+        # the keys carry no line numbers (edits above must not resurrect).
+        base_path = os.path.join(tmp, "tidy.baseline")
+        proc = run(["--write-baseline", base_path], CANNED_LOG)
+        if proc.returncode != 0:
+            fail(f"--write-baseline exited {proc.returncode}")
+        with open(base_path, encoding="utf-8") as fh:
+            keys = [l for l in fh.read().splitlines()
+                    if l and not l.startswith("#")]
+        if len(keys) != 2 or any(":120" in k or ":31" in k for k in keys):
+            fail(f"baseline keys wrong: {keys}")
+        shifted = CANNED_LOG.replace(":120:", ":155:")
+        proc = run(["--baseline", base_path], shifted)
+        if proc.returncode != 0:
+            fail(f"baselined (line-shifted) log still failed:\n"
+                 f"{proc.stdout}{proc.stderr}")
+        checked += 1
+
+        # Clean log: exit 0, empty SARIF results.
+        proc = run(["--sarif", sarif_path], "300 warnings generated.\n")
+        if proc.returncode != 0:
+            fail(f"clean log exited {proc.returncode}")
+        with open(sarif_path, encoding="utf-8") as fh:
+            if json.load(fh)["runs"][0]["results"]:
+                fail("clean log produced sarif results")
+        checked += 1
+
+    print(f"ok: {checked} tidy_sarif checks")
+
+
+if __name__ == "__main__":
+    main()

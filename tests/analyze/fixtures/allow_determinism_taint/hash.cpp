@@ -1,0 +1,8 @@
+#include "state.hpp"
+
+unsigned long g_history_hash;
+
+// massf-analyze: determinism-root
+void accumulate_history() {
+  g_history_hash ^= mix_flows();
+}

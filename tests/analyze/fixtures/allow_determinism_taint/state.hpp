@@ -1,0 +1,10 @@
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+extern std::map<int, int> g_ordered_flows;
+extern std::unordered_map<int, int> g_lookup;
+
+unsigned long mix_flows();
+unsigned long count_outside_region();

@@ -1,0 +1,11 @@
+// Hot root whose reachable allocations are all accounted for: a reserved
+// container, an audited cold branch, and a pruned logging call.
+#include "worker.hpp"
+
+// massf-analyze: hot-path-root
+void advance_one_event() {
+  handle_packet(7);
+  // massf-analyze: allow(hot-path-alloc) — error reporting is the cold
+  // branch; pruning the traversal here is the audited escape hatch.
+  report_failure(7);
+}

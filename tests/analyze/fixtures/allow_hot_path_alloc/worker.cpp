@@ -1,0 +1,20 @@
+#include "worker.hpp"
+
+std::vector<int> g_backlog;
+static std::vector<int> g_failures;
+
+// Cold setup: the reserve() here is what licenses the hot push_back below
+// (capacity is managed deliberately, growth is amortized warm-up only).
+void setup(std::size_t expected) {
+  g_backlog.reserve(expected);
+}
+
+void handle_packet(int payload) {
+  g_backlog.push_back(payload);
+}
+
+// Never traversed: the hot root's call into this function carries an
+// audited allow(), so the unreserved push_back stays invisible.
+void report_failure(int payload) {
+  g_failures.push_back(payload);
+}

@@ -1,0 +1,10 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+extern std::vector<int> g_backlog;
+
+void setup(std::size_t expected);
+void handle_packet(int payload);
+void report_failure(int payload);

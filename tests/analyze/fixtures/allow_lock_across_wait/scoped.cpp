@@ -1,0 +1,10 @@
+// The lock scope closes before the park: no lock is held at the wait, so
+// the brace-scope tracking must not report anything.
+#include "wait.hpp"
+
+void lock_then_park_after() {
+  {
+    util::MutexLock lock(g_m);
+  }
+  g_slot.park(0);
+}

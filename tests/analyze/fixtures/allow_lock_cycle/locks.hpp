@@ -1,0 +1,12 @@
+#pragma once
+
+namespace util {
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&) {}
+};
+}  // namespace util
+
+extern util::Mutex g_a;
+extern util::Mutex g_b;
+extern util::Mutex g_c;

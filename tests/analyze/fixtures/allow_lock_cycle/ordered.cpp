@@ -1,0 +1,17 @@
+// Consistent a-before-b ordering across every path: the acquisition graph
+// is a DAG, so no finding.
+#include "locks.hpp"
+
+void inner_b() {
+  util::MutexLock lock(g_b);
+}
+
+void outer_a_first() {
+  util::MutexLock lock(g_a);
+  inner_b();
+}
+
+void also_a_first() {
+  util::MutexLock lock(g_a);
+  util::MutexLock nested(g_b);
+}

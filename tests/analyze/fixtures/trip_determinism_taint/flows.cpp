@@ -1,0 +1,13 @@
+// Hash-order iteration feeding the history hash: the per-run bucket order
+// of g_flow_table leaks straight into the determinism-critical value.
+#include "state.hpp"
+
+std::unordered_map<int, int> g_flow_table;
+
+unsigned long mix_flows() {
+  unsigned long h = 0;
+  for (const auto& entry : g_flow_table) {
+    h = h * 31 + static_cast<unsigned long>(entry.second);
+  }
+  return h;
+}

@@ -1,0 +1,7 @@
+#pragma once
+
+#include <unordered_map>
+
+extern std::unordered_map<int, int> g_flow_table;
+
+unsigned long mix_flows();

@@ -1,0 +1,11 @@
+// Reached from the hot root across TUs: an unreserved push_back and a raw
+// new, both per-packet allocations the closure must flag.
+#include "worker.hpp"
+
+std::vector<int> g_backlog;
+
+void handle_packet(int payload) {
+  g_backlog.push_back(payload);
+  int* scratch = new int(payload);
+  delete scratch;
+}

@@ -1,0 +1,7 @@
+#pragma once
+
+#include <vector>
+
+extern std::vector<int> g_backlog;
+
+void handle_packet(int payload);

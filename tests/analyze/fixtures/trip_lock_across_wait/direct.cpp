@@ -1,0 +1,8 @@
+// Parking while holding a mutex, in the same function: the waker may need
+// g_m to reach the signal.
+#include "wait.hpp"
+
+void park_under_lock() {
+  util::MutexLock lock(g_m);
+  g_slot.park(0);
+}

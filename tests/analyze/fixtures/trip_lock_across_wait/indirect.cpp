@@ -1,0 +1,12 @@
+// Same hazard, hidden behind a call into another translation unit: the
+// lock holder cannot see the park without the cross-TU may-wait closure.
+#include "wait.hpp"
+
+void helper_that_parks() {
+  g_slot.park(0);
+}
+
+void calls_parker_under_lock() {
+  util::MutexLock lock(g_m);
+  helper_that_parks();
+}

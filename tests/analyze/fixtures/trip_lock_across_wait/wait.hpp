@@ -1,0 +1,16 @@
+#pragma once
+
+namespace util {
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&) {}
+};
+struct WaitSlot {
+  void park(unsigned) {}
+};
+}  // namespace util
+
+extern util::Mutex g_m;
+extern util::WaitSlot g_slot;
+
+void helper_that_parks();

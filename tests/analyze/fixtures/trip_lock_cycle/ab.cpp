@@ -1,0 +1,12 @@
+// Path one takes g_a, then (through a call in another TU's direction)
+// g_b while still holding g_a: edge a -> b in the acquisition graph.
+#include "locks.hpp"
+
+void grab_b_under_a() {
+  util::MutexLock lock(g_b);
+}
+
+void take_a_then_b() {
+  util::MutexLock lock(g_a);
+  grab_b_under_a();
+}

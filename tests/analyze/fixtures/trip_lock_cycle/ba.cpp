@@ -1,0 +1,13 @@
+// Path two — in a different translation unit — takes the same locks in
+// the opposite order: edge b -> a closes the cycle. No single file shows
+// the deadlock; only the cross-TU graph does.
+#include "locks.hpp"
+
+void grab_a_under_b() {
+  util::MutexLock lock(g_a);
+}
+
+void take_b_then_a() {
+  util::MutexLock lock(g_b);
+  grab_a_under_b();
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Meta-test: every registered rule — massf-lint's per-line rules and
+massf-analyze's whole-program rules — must ship at least one trip fixture
+(proves the rule can fire) and one allow fixture (proves it can be
+suppressed / stays quiet on compliant code).
+
+A rule without a trip fixture might be dead regex; a rule without an allow
+fixture has no demonstrated escape hatch. Both registries are read via
+--list-rules, so adding a rule without fixtures fails this test, not code
+review.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+
+
+def list_rules(tool: str) -> list[str]:
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO, "tools", tool), "--list-rules"],
+        capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        print(f"FAIL: {tool} --list-rules exited {proc.returncode}",
+              file=sys.stderr)
+        sys.exit(1)
+    return [line.split()[0] for line in proc.stdout.splitlines()
+            if line and not line.startswith(" ")]
+
+
+def main() -> None:
+    missing: list[str] = []
+    covered = 0
+
+    # massf-lint: file fixtures tests/lint/fixtures/{trip,allow}_<stem>*.cpp
+    lint_dir = os.path.join(HERE, "fixtures")
+    lint_files = os.listdir(lint_dir) if os.path.isdir(lint_dir) else []
+    for rule in list_rules("massf_lint.py"):
+        stem = rule.replace("-", "_")
+        for kind in ("trip", "allow"):
+            if not any(f == f"{kind}_{stem}.cpp"
+                       or f.startswith(f"{kind}_{stem}__")
+                       for f in lint_files):
+                missing.append(f"massf-lint rule '{rule}' has no {kind} "
+                               f"fixture (tests/lint/fixtures/"
+                               f"{kind}_{stem}*.cpp)")
+            else:
+                covered += 1
+
+    # massf-analyze: directory fixtures tests/analyze/fixtures/<kind>_<stem>/
+    analyze_dir = os.path.join(REPO, "tests", "analyze", "fixtures")
+    for rule in list_rules("massf_analyze.py"):
+        stem = rule.replace("-", "_")
+        for kind in ("trip", "allow"):
+            d = os.path.join(analyze_dir, f"{kind}_{stem}")
+            if not os.path.isdir(d) or not any(
+                    f.endswith((".cpp", ".hpp")) for f in os.listdir(d)):
+                missing.append(f"massf-analyze rule '{rule}' has no {kind} "
+                               f"fixture (tests/analyze/fixtures/"
+                               f"{kind}_{stem}/)")
+            else:
+                covered += 1
+
+    if missing:
+        for m in missing:
+            print(f"FAIL: {m}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {covered} rule/fixture pairings covered")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+// An atomic member declared inside a raw string is text, not a member:
+// the scope tracker must never see these braces or the std::atomic line.
+const char* kSnippet = R"(
+struct Counters {
+  std::atomic<unsigned long> hits;
+};
+)";

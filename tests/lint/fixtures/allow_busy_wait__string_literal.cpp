@@ -1,0 +1,7 @@
+// Spin-loop shapes inside literals must not trip the busy-wait patterns.
+const char* kAntiPattern = "never write std::this_thread::yield() loops";
+const char* kCounterExample = R"(
+while (!flag.load()) {}
+while (queue_empty()) ;
+std::this_thread::yield();
+)";

@@ -1,0 +1,12 @@
+// A quadratic reserve in a literal is an example, not an allocation.
+#include <vector>
+
+const char* kWarning = "table.reserve(nodes * nodes) caps the node count";
+const char* kBadExample = R"(
+latencies.reserve(node_count * node_count);
+rows.resize(n * n);
+)";
+
+void shaped(std::vector<int>& v, std::size_t rows, std::size_t cols) {
+  v.reserve(rows * cols);  // rectangular: different tokens, never trips
+}

@@ -1,0 +1,6 @@
+// new/delete in literals are prose, not allocations.
+const char* kNote = "events own their payload; new Callback is audited";
+const char* kPatch = R"(
+Event* e = new Event{t, origin, seq};
+delete e;
+)";

@@ -1,0 +1,14 @@
+// I/O calls on raw-string continuation lines start the line, exactly the
+// shape the statement-initial checker hunts — but they are text. The old
+// scrubber left raw-string bodies as code; the shared lexer blanks them.
+#include <cstdio>
+
+const char* kCleanupDoc = R"(
+fclose(file);
+fwrite(buf, 1, len, file);
+fread(buf, 1, len, file);
+)";
+
+bool write_all(std::FILE* f, const char* buf, unsigned long len) {
+  return std::fwrite(buf, 1, len, f) == len;
+}

@@ -1,0 +1,14 @@
+// Rule text inside comments and literals must never trip: the shared
+// lexer (massf_cpp.scrub) blanks them, raw-string continuation lines
+// included — the old scrubber treated those as code.
+#include <string>
+
+/* docs mention std::unordered_map<int, int> but declare none */
+const char* kDoc = "prefer std::map over std::unordered_map here";
+const char* kSpec = R"spec(
+containers considered hash-ordered:
+  std::unordered_map<Key, Value>
+  std::unordered_set<Key>
+)spec";
+
+std::size_t doc_bytes() { return std::string(kDoc).size(); }

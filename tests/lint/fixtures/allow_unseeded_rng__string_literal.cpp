@@ -1,0 +1,7 @@
+// RNG names in literals are documentation, not randomness.
+const char* kHelp = "seed std::mt19937 only through massf::Rng";
+const char* kScript = R"(
+auto gen = std::mt19937{};
+std::random_device entropy;
+srand(42);
+)";

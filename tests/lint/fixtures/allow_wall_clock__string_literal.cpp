@@ -1,0 +1,7 @@
+// Clock names in literals are documentation, not wall-clock reads.
+const char* kWhy = "system_clock reads make runs machine-dependent";
+const char* kExample = R"(
+auto now = std::chrono::system_clock::now();
+gettimeofday(&tv, nullptr);
+auto hr = std::chrono::high_resolution_clock::now();
+)";

@@ -46,8 +46,15 @@ above it:
 
     // massf-lint: allow(<rule>[, <rule>...]) — why this site is safe
 
+The allow covers its own line, the next line, and — when the statement it
+annotates wraps — every continuation line of that statement (unbalanced
+parentheses or a line ending mid-expression extend the coverage).
 Suppressions keep audited sites visible: grep for "massf-lint: allow" to
 list every exception to the invariants.
+
+Lexing (comments, string literals, raw strings) is shared with
+massf-analyze via tools/massf_cpp.py, so text inside any literal — raw
+strings spanning lines included — can never trip a rule.
 
 Usage
 -----
@@ -65,7 +72,10 @@ import re
 import sys
 from dataclasses import dataclass, field
 
-SOURCE_EXTENSIONS = (".hpp", ".h", ".cpp", ".cc", ".cxx")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import massf_cpp  # noqa: E402
+
+SOURCE_EXTENSIONS = massf_cpp.SOURCE_EXTENSIONS
 
 ALLOW_RE = re.compile(r"massf-lint:\s*allow\(([^)]*)\)")
 
@@ -197,55 +207,14 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.text.strip()}"
 
 
-def strip_comments_and_strings(lines: list[str]) -> list[str]:
-    """Blank out comments, string literals, and char literals, preserving
-    line structure so findings keep their line numbers."""
-    out: list[str] = []
-    in_block = False
-    for raw in lines:
-        result = []
-        i, n = 0, len(raw)
-        while i < n:
-            ch = raw[i]
-            nxt = raw[i + 1] if i + 1 < n else ""
-            if in_block:
-                if ch == "*" and nxt == "/":
-                    in_block = False
-                    i += 2
-                else:
-                    i += 1
-                continue
-            if ch == "/" and nxt == "/":
-                break  # rest of line is a comment
-            if ch == "/" and nxt == "*":
-                in_block = True
-                i += 2
-                continue
-            if ch in "\"'":
-                quote = ch
-                result.append(quote)
-                i += 1
-                while i < n:
-                    if raw[i] == "\\":
-                        i += 2
-                        continue
-                    if raw[i] == quote:
-                        i += 1
-                        break
-                    i += 1
-                result.append(quote)
-                continue
-            result.append(ch)
-            i += 1
-        out.append("".join(result))
-    return out
-
-
-def allowed_rules(lines: list[str]) -> dict[int, set[str]]:
-    """Map 1-based line number -> rules suppressed on that line (allow()
-    comments cover their own line and the line that follows them)."""
+def allowed_rules(raw_lines: list[str],
+                  code_lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line number -> rules suppressed on that line. An allow()
+    comment covers its own line, the next line, and every continuation line
+    of the statement starting there (massf_cpp.statement_end), so an allow
+    on a wrapped declaration covers the whole statement."""
     allowed: dict[int, set[str]] = {}
-    for idx, raw in enumerate(lines, start=1):
+    for idx, raw in enumerate(raw_lines, start=1):
         for match in ALLOW_RE.finditer(raw):
             rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
             unknown = rules - RULES.keys()
@@ -253,8 +222,9 @@ def allowed_rules(lines: list[str]) -> dict[int, set[str]]:
                 raise SystemExit(
                     f"massf-lint: unknown rule(s) {sorted(unknown)} in "
                     f"allow() at line {idx}: choose from {sorted(RULES)}")
-            allowed.setdefault(idx, set()).update(rules)
-            allowed.setdefault(idx + 1, set()).update(rules)
+            last = massf_cpp.allow_extent(code_lines, idx)
+            for covered in range(idx, last + 1):
+                allowed.setdefault(covered, set()).update(rules)
     return allowed
 
 
@@ -307,10 +277,10 @@ def check_atomic_alignment(code_lines: list[str]) -> list[tuple[int, str]]:
 
 
 UNCHECKED_IO_RE = re.compile(r"^\s*(?:std::)?f(?:write|read|close)\s*\(")
-# A line ending in one of these is mid-expression; the call starting the
-# next line continues it (its result is consumed) rather than opening a
-# fresh discarded-result statement.
-CONTINUATION_END_RE = re.compile(r"(?:[&|(,=+\-*/%<>!?]|\breturn)\s*$")
+# A line ending mid-expression means the call starting the next line
+# continues it (its result is consumed) rather than opening a fresh
+# discarded-result statement. Shared with allow() continuation scoping.
+CONTINUATION_END_RE = massf_cpp.CONTINUATION_END_RE
 
 
 def check_unchecked_io(code_lines: list[str]) -> list[tuple[int, str]]:
@@ -355,8 +325,8 @@ def check_quadratic_reserve(code_lines: list[str]) -> list[tuple[int, str]]:
 def lint_file(path: str, rel: str, active: list[Rule]) -> list[Finding]:
     with open(path, encoding="utf-8", errors="replace") as fh:
         raw_lines = fh.read().splitlines()
-    code_lines = strip_comments_and_strings(raw_lines)
-    allowed = allowed_rules(raw_lines)
+    code_lines = massf_cpp.scrub(raw_lines)
+    allowed = allowed_rules(raw_lines, code_lines)
     findings: list[Finding] = []
 
     for rule in active:

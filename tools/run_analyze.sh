@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Run massf-analyze over the tree with the checked-in baseline — the exact
+# invocation CI gates on. Pass MASSF_ANALYZE_SARIF=<path> to also emit
+# SARIF 2.1.0 (the CI job uploads it as an artifact / to code scanning).
+set -euo pipefail
+
+root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "run_analyze.sh: python3 not found; skipping static analysis" >&2
+  exit 0
+fi
+
+args=(--root "$root" --baseline "$root/tools/massf_analyze.baseline"
+      --require-roots)
+if [[ -n "${MASSF_ANALYZE_SARIF:-}" ]]; then
+  args+=(--sarif "$MASSF_ANALYZE_SARIF")
+fi
+
+exec python3 "$root/tools/massf_analyze.py" "${args[@]}" "$@"
