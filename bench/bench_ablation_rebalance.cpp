@@ -111,9 +111,12 @@ ApproachResult fill(std::string name, const mapping::RunMetrics& metrics) {
 }
 
 void write_json(std::ostream& out, const std::vector<ApproachResult>& all,
+                const std::string& context, const std::string& run_config,
                 double seg2_ratio, double total_ratio, bool ok) {
   out << "{\n  \"benchmark\": \"bench_ablation_rebalance\",\n"
       << "  \"build_type\": \"release\",\n"
+      << "  \"context\": " << context << ",\n"
+      << "  \"run_config\": " << run_config << ",\n"
       << "  \"workload\": \"drifting scalapack->gridnpb on campus, 3 "
          "engines\",\n"
       << "  \"horizon_s\": " << kHorizon << ",\n"
@@ -166,6 +169,7 @@ int main(int argc, char** argv) {
   mapping::ExperimentSetup setup = bench::make_setup(topo, bundle, 0);
   setup.horizon = kHorizon;
   setup.emulator.sync_mode = des::SyncMode::ChannelLookahead;
+  const des::KernelTuning tuning = setup.emulator.tuning;
   mapping::Experiment experiment(std::move(setup));
 
   std::vector<ApproachResult> all;
@@ -223,7 +227,10 @@ int main(int argc, char** argv) {
             << " migration(s)\n";
 
   std::ofstream out(out_path);
-  write_json(out, all, seg2_ratio, total_ratio, ok);
+  // No fault plan in this ablation, so the recorded fault seed is 0.
+  write_json(out, all, bench::context_json(topo.engines, "  "),
+             bench::run_config_json(tuning, 0, "  "),
+             seg2_ratio, total_ratio, ok);
   std::cout << "wrote " << out_path << "\n";
   if (!ok)
     std::cerr << "bench_ablation_rebalance: acceptance checks FAILED (need "

@@ -157,6 +157,11 @@ int main(int argc, char** argv) {
   std::ofstream out(out_path);
   out << "{\n  \"bench\": \"scale\",\n"
       << "  \"context\": " << massf::bench::context_json(0, "  ") << ",\n"
+      // Setup-phase bench: no kernel runs and no fault plan, so the run
+      // config records the default tuning and a zero fault seed.
+      << "  \"run_config\": "
+      << massf::bench::run_config_json(massf::des::KernelTuning{}, 0, "  ")
+      << ",\n"
       << "  \"scales\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ScaleResult& r = results[i];

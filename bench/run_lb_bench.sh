@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Record the load-balancing policy shootout to BENCH_lb.json.
+#
+#   BUILD_DIR=build-release OUT=BENCH_lb.json ./bench/run_lb_bench.sh
+#
+# Configures and builds a dedicated Release tree (never reuses a debug
+# build: the binary itself also refuses to run without NDEBUG), verifies
+# the cache really says Release, then runs bench_lb_policies. The binary
+# exits non-zero unless every policy drains >= 99% of requests and, in
+# the degraded fault epoch, peak-EWMA and least-request both beat
+# round-robin's p99 latency. MASSF_LB_MAX_CLIENTS caps the simulated-user
+# count (CI smoke: 5000; default 100000).
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build-release}"
+OUT="${OUT:-BENCH_lb.json}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+if ! grep -q '^CMAKE_BUILD_TYPE:[A-Z]*=Release$' "$BUILD_DIR/CMakeCache.txt"; then
+  echo "error: $BUILD_DIR is not a Release build; refusing to record." >&2
+  echo "Use a fresh BUILD_DIR or reconfigure with -DCMAKE_BUILD_TYPE=Release." >&2
+  exit 1
+fi
+cmake --build "$BUILD_DIR" --target bench_lb_policies -j >/dev/null
+
+# exec propagates the benchmark binary's exit code to the caller verbatim.
+exec "$BUILD_DIR/bench/bench_lb_policies" "$OUT"

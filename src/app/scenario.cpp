@@ -1,0 +1,183 @@
+#include "app/scenario.hpp"
+
+#include <string>
+
+#include "emu/emulator.hpp"
+#include "util/error.hpp"
+
+namespace massf::app {
+
+using topology::Mbps;
+using topology::milliseconds;
+using topology::Network;
+using topology::NodeId;
+
+namespace {
+
+constexpr int kBackendsPerRack = 4;
+constexpr int kClientsPerRack = 8;
+
+}  // namespace
+
+LbScenario make_lb_scenario(const LbScenarioParams& params) {
+  MASSF_REQUIRE(params.backends >= 2, "scenario needs >= 2 backends");
+  MASSF_REQUIRE(params.client_hosts >= 1, "scenario needs >= 1 client host");
+
+  LbScenario s;
+  Network& net = s.net;
+  s.core = net.add_router("core");
+  s.backup = net.add_router("backup");
+  // Backup path: reachable, but an order of magnitude slower than a rack's
+  // direct core uplink — degradation, not partition.
+  net.add_link(s.core, s.backup, Mbps(1000), milliseconds(2.0));
+
+  const int backend_racks =
+      (params.backends + kBackendsPerRack - 1) / kBackendsPerRack;
+  for (int r = 0; r < backend_racks; ++r) {
+    const NodeId rack = net.add_router("rackS" + std::to_string(r));
+    const topology::LinkId uplink =
+        net.add_link(rack, s.core, Mbps(1000), milliseconds(0.5));
+    net.add_link(rack, s.backup, Mbps(200), milliseconds(10.0));
+    if (r == 0) s.degraded_uplink = uplink;
+    for (int k = 0; k < kBackendsPerRack; ++k) {
+      const int b = r * kBackendsPerRack + k;
+      if (b >= params.backends) break;
+      const NodeId host = net.add_host("srv" + std::to_string(b));
+      net.add_link(host, rack, Mbps(1000), milliseconds(0.1));
+      s.backends.push_back(host);
+    }
+  }
+
+  const int client_racks =
+      (params.client_hosts + kClientsPerRack - 1) / kClientsPerRack;
+  for (int r = 0; r < client_racks; ++r) {
+    const NodeId rack = net.add_router("rackU" + std::to_string(r));
+    net.add_link(rack, s.core, Mbps(1000), milliseconds(0.5));
+    for (int k = 0; k < kClientsPerRack; ++k) {
+      const int c = r * kClientsPerRack + k;
+      if (c >= params.client_hosts) break;
+      const NodeId host = net.add_host("cli" + std::to_string(c));
+      net.add_link(host, rack, Mbps(1000), milliseconds(0.1));
+      s.clients.push_back(host);
+    }
+  }
+
+  s.lb = net.add_host("lb");
+  net.add_link(s.lb, s.core, Mbps(10000), milliseconds(0.1));
+  return s;
+}
+
+LbWorkload::LbWorkload(const LbScenario& scenario,
+                       const LbScenarioParams& params)
+    : scenario_(scenario), params_(params) {
+  MASSF_REQUIRE(scenario_.lb >= 0 && !scenario_.backends.empty() &&
+                    !scenario_.clients.empty(),
+                "scenario is not built");
+}
+
+void LbWorkload::install(emu::Emulator& emulator) const {
+  const int series =
+      emulator.register_latency_series(policy_name(params_.policy));
+
+  lb_counters_ = std::make_shared<LbCounters>();
+  LoadBalancerParams lb;
+  lb.policy = params_.policy;
+  lb.policy_config = params_.policy_config;
+  lb.backends = scenario_.backends;
+  lb.reliable = params_.reliable;
+  emulator.install_endpoint(
+      scenario_.lb,
+      std::make_unique<LoadBalancerEndpoint>(std::move(lb), lb_counters_));
+
+  ServerParams server = params_.server;
+  server.reliable = params_.reliable;
+  server.seed = mix_seed(params_.seed, 0x737276ULL);
+  for (NodeId backend : scenario_.backends)
+    emulator.install_endpoint(backend,
+                              std::make_unique<ServerEndpoint>(server));
+
+  client_counters_.clear();
+  for (std::size_t c = 0; c < scenario_.clients.size(); ++c) {
+    ClientParams client;
+    client.lb = scenario_.lb;
+    client.users = params_.users_per_host;
+    client.rate_per_user = params_.rate_per_user;
+    client.duration_s = params_.duration_s;
+    client.request_bytes = params_.request_bytes;
+    client.series = series;
+    client.user_base =
+        static_cast<std::uint64_t>(c) *
+        static_cast<std::uint64_t>(params_.users_per_host);
+    client.seed = mix_seed(params_.seed, 0x636c69ULL);
+    client.reliable = params_.reliable;
+    auto counters = std::make_shared<ClientCounters>();
+    client_counters_.push_back(counters);
+    emulator.install_endpoint(
+        scenario_.clients[c],
+        std::make_unique<ClientEndpoint>(std::move(client),
+                                         std::move(counters)));
+  }
+}
+
+std::vector<traffic::NodeId> LbWorkload::injection_points() const {
+  std::vector<NodeId> points;
+  points.reserve(1 + scenario_.backends.size() + scenario_.clients.size());
+  points.push_back(scenario_.lb);
+  points.insert(points.end(), scenario_.backends.begin(),
+                scenario_.backends.end());
+  points.insert(points.end(), scenario_.clients.begin(),
+                scenario_.clients.end());
+  return points;
+}
+
+LbCounters LbWorkload::lb_counters() const {
+  return lb_counters_ != nullptr ? *lb_counters_ : LbCounters{};
+}
+
+ClientCounters LbWorkload::client_totals() const {
+  ClientCounters total;
+  for (const auto& c : client_counters_) {
+    total.requests_sent += c->requests_sent;
+    total.responses_received += c->responses_received;
+    total.send_failures += c->send_failures;
+    total.stale_responses += c->stale_responses;
+  }
+  return total;
+}
+
+LbRunResult run_lb_scenario(const LbScenario& scenario,
+                            const LbScenarioParams& params,
+                            const routing::RoutingView& routes, int engines,
+                            des::ExecutionMode mode, des::SyncMode sync,
+                            const fault::FaultTimeline* timeline,
+                            double horizon_s) {
+  const Network& net = scenario.net;
+  std::vector<int> placement(static_cast<std::size_t>(net.node_count()));
+  for (std::size_t i = 0; i < placement.size(); ++i)
+    placement[i] = static_cast<int>(i) % engines;
+
+  emu::EmulatorConfig config;
+  config.reliable.base_timeout_s = params.reliable_timeout_s;
+  config.sync_mode = sync;
+  emu::Emulator emulator(net, routes, std::move(placement), engines, config);
+  if (timeline != nullptr) emulator.set_fault_timeline(timeline);
+
+  const LbWorkload workload(scenario, params);
+  workload.install(emulator);
+
+  // Default horizon: generation window plus drain time for queued work,
+  // in-flight responses and retry backoff chains.
+  if (horizon_s <= 0) horizon_s = 2.0 * params.duration_s + 10.0;
+  emulator.run(horizon_s, mode);
+
+  LbRunResult result;
+  result.kernel = emulator.kernel_stats();
+  result.stats = emulator.stats();
+  result.epochs = emulator.epoch_stats();
+  result.latency = emulator.latency_summaries();
+  result.lb = workload.lb_counters();
+  result.clients = workload.client_totals();
+  return result;
+}
+
+}  // namespace massf::app

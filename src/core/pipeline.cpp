@@ -71,6 +71,31 @@ std::string summarize(const MappingResult& mapping,
         out << " (max " << ep.max_recovery_s << " s)";
     }
   }
+  // Reliable-delivery health: only drops used to be visible here, which
+  // hid exactly the counters the LB suite's error-rate reporting needs —
+  // retries, dedupe hits, and exhausted sends.
+  const emu::EmulatorStats& es = metrics.emulator_stats;
+  if (es.reliable_messages_sent > 0 || es.retransmissions > 0) {
+    out << "\nreliable  " << es.reliable_messages_sent << " sent, "
+        << es.reliable_messages_acked << " acked, "
+        << es.retransmissions << " retransmissions, "
+        << es.duplicate_deliveries << " duplicates suppressed, "
+        << es.reliable_messages_failed << " exhausted";
+  }
+  for (const emu::LatencySummary& series : metrics.latency) {
+    if (series.total.empty()) continue;
+    out << "\nlatency   " << series.name << ": " << series.total.count()
+        << " requests, p50 " << series.total.quantile(0.50) * 1e3
+        << " ms, p90 " << series.total.quantile(0.90) * 1e3
+        << " ms, p99 " << series.total.quantile(0.99) * 1e3 << " ms";
+    for (std::size_t e = 0; e < series.per_epoch.size(); ++e) {
+      const LatencyHistogram& h = series.per_epoch[e];
+      if (h.empty()) continue;
+      out << "\n  e" << e << " " << h.count() << " requests, p50 "
+          << h.quantile(0.50) * 1e3 << " ms, p99 "
+          << h.quantile(0.99) * 1e3 << " ms";
+    }
+  }
   if (metrics.rebalance_safepoints > 0) {
     out << "\nrebalance " << metrics.rebalance_safepoints << " safepoints, "
         << metrics.rebalances << " migrations (" << metrics.nodes_migrated
@@ -183,6 +208,7 @@ RunMetrics Experiment::collect(emu::Emulator& emulator) const {
   metrics.sim_time = ks.sim_time_reached;
   metrics.emulator_stats = emulator.stats();
   metrics.epochs = emulator.epoch_stats();
+  metrics.latency = emulator.latency_summaries();
   metrics.sync_mode = ks.sync_mode;
   metrics.channel_advances = ks.channel_advances;
   metrics.idle_jumps = ks.idle_jumps;

@@ -71,6 +71,11 @@ struct RunMetrics {
   emu::EmulatorStats emulator_stats{};
   /// Per-routing-epoch fault counters (empty without a fault timeline).
   std::vector<emu::EpochStats> epochs;
+  /// Per-request latency histogram series (empty unless the workload
+  /// registered series via Emulator::register_latency_series — the LB/RPC
+  /// suite in src/app does). Each summary carries the run-total histogram
+  /// plus per-fault-epoch splits.
+  std::vector<emu::LatencySummary> latency;
   /// Kernel synchronization protocol the run used.
   des::SyncMode sync_mode = des::SyncMode::GlobalWindow;
   /// ChannelLookahead: per-LP execution bursts (the windows analogue).

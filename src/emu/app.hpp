@@ -38,13 +38,18 @@ class AppApi {
 
   /// Send an application message to another host; returns its message id.
   /// The message is packetized and injected on this host's access link.
-  std::uint64_t send(NodeId dst, double bytes, int tag = 0);
+  /// `corr` is an opaque correlation token delivered unchanged in
+  /// AppMessage::corr (request/response matching for the RPC layer).
+  std::uint64_t send(NodeId dst, double bytes, int tag = 0,
+                     std::uint64_t corr = 0);
 
   /// Like send(), but with at-least-once delivery: the receiver ACKs and
   /// this host retransmits on timeout with exponential backoff until the
   /// retry budget (EmulatorConfig::reliable) is exhausted. The receiver
   /// endpoint sees the message exactly once (duplicates are suppressed).
-  std::uint64_t send_reliable(NodeId dst, double bytes, int tag = 0);
+  /// When the budget runs out the sender endpoint gets on_send_failed().
+  std::uint64_t send_reliable(NodeId dst, double bytes, int tag = 0,
+                              std::uint64_t corr = 0);
 
   /// Model a compute phase: run `fn` on this host after `delay` seconds of
   /// simulated computation. Closure-based and therefore NOT serializable: a
@@ -57,6 +62,12 @@ class AppApi {
   /// host. The pending timer is a typed control event, so it survives
   /// checkpoint/restore bit-identically.
   void set_timer(double delay, std::int64_t tag = 0);
+
+  /// Record one per-request latency sample into a histogram series the
+  /// emulator folds per (series × fault epoch × engine); see
+  /// Emulator::register_latency_series. Pure counter update — never
+  /// schedules an event, so it cannot perturb history_hash.
+  void record_latency(int series, double seconds);
 
   Emulator& emulator() { return emulator_; }
 
@@ -84,6 +95,15 @@ class AppEndpoint {
   virtual void on_timer(AppApi& api, std::int64_t tag) {
     (void)api;
     (void)tag;
+  }
+
+  /// Invoked on the *sender* when a send_reliable exhausts its retry
+  /// budget: `message` carries the failed message's dst/bytes/tag/id/corr
+  /// and its first-send time. Runs on the sender's engine at the final
+  /// timeout, so it is race-free and deterministic like every other upcall.
+  virtual void on_send_failed(AppApi& api, const AppMessage& message) {
+    (void)api;
+    (void)message;
   }
 
   /// Checkpoint support: serialize this endpoint's mutable state as opaque

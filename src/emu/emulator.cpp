@@ -20,6 +20,16 @@ std::uint64_t flow_id(NodeId src, NodeId dst, int tag) {
                   static_cast<std::uint64_t>(tag) + 0x51ULL);
 }
 
+/// Globally unique reliable/message id. The sender must be pre-mixed to
+/// full entropy: mix_seed's pre-mix is nearly linear in a small first
+/// argument, so (src, counter) and (src', counter − 64·(src'−src)) would
+/// alias between hosts — and id collisions at a busy receiver make its
+/// reliable-delivery dedupe suppress fresh messages as duplicates.
+std::uint64_t message_id_for(NodeId src, std::uint64_t counter) {
+  std::uint64_t s = static_cast<std::uint64_t>(src) + 1;
+  return mix_seed(splitmix64(s), counter);
+}
+
 constexpr std::uint64_t kIcmpFlowBase = 0xfeedface00000000ULL;
 constexpr std::uint64_t kAckFlowBase = 0xacced00000000000ULL;
 
@@ -32,12 +42,18 @@ constexpr std::uint32_t kTagEmuEnd = 0x656d7565;    // "emue"
 
 SimTime AppApi::now() const { return emulator_.kernel().now(); }
 
-std::uint64_t AppApi::send(NodeId dst, double bytes, int tag) {
-  return emulator_.send_message(host_, dst, bytes, tag, now());
+std::uint64_t AppApi::send(NodeId dst, double bytes, int tag,
+                           std::uint64_t corr) {
+  return emulator_.send_message(host_, dst, bytes, tag, now(), corr);
 }
 
-std::uint64_t AppApi::send_reliable(NodeId dst, double bytes, int tag) {
-  return emulator_.send_reliable(host_, dst, bytes, tag, now());
+std::uint64_t AppApi::send_reliable(NodeId dst, double bytes, int tag,
+                                    std::uint64_t corr) {
+  return emulator_.send_reliable(host_, dst, bytes, tag, now(), corr);
+}
+
+void AppApi::record_latency(int series, double seconds) {
+  emulator_.record_latency(series, seconds);
 }
 
 void AppApi::after(double delay, std::function<void()> fn) {
@@ -182,7 +198,7 @@ void Emulator::schedule_timer(NodeId host, SimTime at, std::int64_t tag) {
 
 void Emulator::inject_trains(NodeId src, NodeId dst, double bytes, int tag,
                              std::uint64_t message_id, SimTime sent_at,
-                             bool reliable, SimTime at) {
+                             bool reliable, std::uint64_t corr, SimTime at) {
   HostState& sender = host_state_[static_cast<std::size_t>(src)];
 
   // Packetize into trains; the last train embeds the AppMessage that
@@ -210,8 +226,8 @@ void Emulator::inject_trains(NodeId src, NodeId dst, double bytes, int tag,
       train->bytes = remaining_bytes;
       train->packets = std::max(1, remaining_packets);
       train->has_message = true;
-      train->message =
-          AppMessage{src, dst, bytes, tag, message_id, sent_at, 0, reliable};
+      train->message = AppMessage{src,     dst, bytes,    tag, message_id,
+                                  sent_at, 0,   reliable, corr};
     }
     remaining_bytes -= train_bytes;
     remaining_packets -= config_.train_packets;
@@ -225,7 +241,7 @@ void Emulator::inject_trains(NodeId src, NodeId dst, double bytes, int tag,
 }
 
 std::uint64_t Emulator::send_message(NodeId src, NodeId dst, double bytes,
-                                     int tag, SimTime at) {
+                                     int tag, SimTime at, std::uint64_t corr) {
   MASSF_REQUIRE(src >= 0 && src < network_.node_count(), "src out of range");
   MASSF_REQUIRE(dst >= 0 && dst < network_.node_count(), "dst out of range");
   MASSF_REQUIRE(src != dst, "messages must cross the network (src != dst)");
@@ -233,17 +249,19 @@ std::uint64_t Emulator::send_message(NodeId src, NodeId dst, double bytes,
 
   HostState& sender = host_state_[static_cast<std::size_t>(src)];
   const std::uint64_t message_id =
-      mix_seed(static_cast<std::uint64_t>(src) + 1, ++sender.message_counter);
+      message_id_for(src, ++sender.message_counter);
   ++sender.messages_sent;
   if (recorder_ != nullptr)
     recorder_->on_send(src, dst, bytes, tag, message_id, at);
 
-  inject_trains(src, dst, bytes, tag, message_id, at, /*reliable=*/false, at);
+  inject_trains(src, dst, bytes, tag, message_id, at, /*reliable=*/false, corr,
+                at);
   return message_id;
 }
 
 std::uint64_t Emulator::send_reliable(NodeId src, NodeId dst, double bytes,
-                                      int tag, SimTime at) {
+                                      int tag, SimTime at,
+                                      std::uint64_t corr) {
   MASSF_REQUIRE(src >= 0 && src < network_.node_count(), "src out of range");
   MASSF_REQUIRE(dst >= 0 && dst < network_.node_count(), "dst out of range");
   MASSF_REQUIRE(src != dst, "messages must cross the network (src != dst)");
@@ -251,7 +269,7 @@ std::uint64_t Emulator::send_reliable(NodeId src, NodeId dst, double bytes,
 
   HostState& sender = host_state_[static_cast<std::size_t>(src)];
   const std::uint64_t message_id =
-      mix_seed(static_cast<std::uint64_t>(src) + 1, ++sender.message_counter);
+      message_id_for(src, ++sender.message_counter);
   ++sender.messages_sent;
   ++sender.reliable_sent;
   if (recorder_ != nullptr)
@@ -259,9 +277,10 @@ std::uint64_t Emulator::send_reliable(NodeId src, NodeId dst, double bytes,
 
   // massf-analyze: allow(hot-path-alloc) — in-flight reliable window:
   // bounded by outstanding sends, shrinks on ack; rehash is amortized.
-  sender.pending.emplace(message_id,
-                         PendingReliable{dst, bytes, tag, at, /*attempts=*/1});
-  inject_trains(src, dst, bytes, tag, message_id, at, /*reliable=*/true, at);
+  sender.pending.emplace(
+      message_id, PendingReliable{dst, bytes, tag, at, /*attempts=*/1, corr});
+  inject_trains(src, dst, bytes, tag, message_id, at, /*reliable=*/true, corr,
+                at);
   Packet* timeout =
       make_control(PacketKind::CtrlReliableTimeout, src, message_id);
   kernel_->schedule_packet(engine_of(src),
@@ -277,7 +296,16 @@ void Emulator::reliable_timeout(NodeId src, std::uint64_t message_id) {
   PendingReliable& p = it->second;
   if (p.attempts >= 1 + config_.reliable.max_retries) {
     ++sender.reliable_failed;
+    // Surface the exhaustion to the sender's endpoint as an app-visible
+    // failure. The upcall runs here — on the sender's engine, at the final
+    // timeout event — so it is as deterministic as any receive() upcall.
+    const AppMessage failed{src,          p.dst, p.bytes, p.tag, message_id,
+                            p.first_sent, 0,     true,    p.corr};
     sender.pending.erase(it);
+    if (sender.endpoint != nullptr) {
+      AppApi api(*this, src);
+      sender.endpoint->on_send_failed(api, failed);
+    }
     return;
   }
   ++p.attempts;
@@ -285,7 +313,7 @@ void Emulator::reliable_timeout(NodeId src, std::uint64_t message_id) {
   const SimTime now = kernel_->now();
   if (faults_) ++epoch_counters(epoch_for(now)).retransmissions;
   inject_trains(src, p.dst, p.bytes, p.tag, message_id, p.first_sent,
-                /*reliable=*/true, now);
+                /*reliable=*/true, p.corr, now);
   const double timeout = config_.reliable.base_timeout_s *
                          std::pow(config_.reliable.backoff, p.attempts - 1);
   Packet* rearm = make_control(PacketKind::CtrlReliableTimeout, src,
@@ -298,6 +326,12 @@ void Emulator::set_fault_timeline(const fault::FaultTimeline* timeline) {
   faults_ = timeline;
   epoch_cursor_.clear();
   epoch_slots_.clear();
+  // Latency slots are epoch-shaped; re-shape them (they are all-zero before
+  // run(), so reshaping loses nothing regardless of registration order).
+  latency_epochs_ = timeline != nullptr ? timeline->epoch_count() : 1;
+  latency_slots_.assign(latency_names_.size() * latency_epochs_ *
+                            static_cast<std::size_t>(engines_),
+                        LatencyHistogram{});
   if (timeline == nullptr) return;
   MASSF_REQUIRE(timeline->node_count() == network_.node_count() &&
                     timeline->link_count() == network_.link_count(),
@@ -318,6 +352,47 @@ void Emulator::set_fault_timeline(const fault::FaultTimeline* timeline) {
       kernel_->schedule_packet(lp, t, {boundary, -1});
     }
   }
+}
+
+int Emulator::register_latency_series(const std::string& name) {
+  MASSF_REQUIRE(!ran_, "register latency series before run()");
+  MASSF_REQUIRE(!name.empty(), "latency series needs a name");
+  const int id = static_cast<int>(latency_names_.size());
+  latency_names_.push_back(name);
+  latency_slots_.resize(latency_names_.size() * latency_epochs_ *
+                        static_cast<std::size_t>(engines_));
+  return id;
+}
+
+void Emulator::record_latency(int series, double seconds) {
+  MASSF_REQUIRE(series >= 0 &&
+                    static_cast<std::size_t>(series) < latency_names_.size(),
+                "unknown latency series");
+  const std::size_t epoch =
+      faults_ != nullptr ? epoch_for(kernel_->now()) : 0;
+  const std::size_t slot =
+      (static_cast<std::size_t>(series) * latency_epochs_ + epoch) *
+          static_cast<std::size_t>(engines_) +
+      static_cast<std::size_t>(pool_shard());
+  latency_slots_[slot].record(seconds);
+}
+
+std::vector<LatencySummary> Emulator::latency_summaries() const {
+  std::vector<LatencySummary> out(latency_names_.size());
+  const auto engines = static_cast<std::size_t>(engines_);
+  for (std::size_t s = 0; s < latency_names_.size(); ++s) {
+    LatencySummary& summary = out[s];
+    summary.name = latency_names_[s];
+    if (faults_ != nullptr) summary.per_epoch.resize(latency_epochs_);
+    for (std::size_t e = 0; e < latency_epochs_; ++e)
+      for (std::size_t lp = 0; lp < engines; ++lp) {
+        const LatencyHistogram& slot =
+            latency_slots_[(s * latency_epochs_ + e) * engines + lp];
+        summary.total.merge(slot);
+        if (faults_ != nullptr) summary.per_epoch[e].merge(slot);
+      }
+  }
+  return out;
 }
 
 std::size_t Emulator::epoch_for(SimTime t) {
@@ -822,6 +897,7 @@ void Emulator::save_packet(ckpt::Writer& w, const Packet* packet) const {
     w.f64(m.sent_at);
     w.f64(m.delivered_at);
     w.u8(m.reliable ? 1 : 0);
+    w.u64(m.corr);
   }
 }
 
@@ -854,6 +930,7 @@ Packet* Emulator::load_packet(ckpt::Reader& r) {
     m.sent_at = r.f64();
     m.delivered_at = r.f64();
     m.reliable = r.u8() != 0;
+    m.corr = r.u64();
   }
   return p;
 }
@@ -904,6 +981,7 @@ void Emulator::checkpoint(ckpt::Writer& w) const {
       w.i64(rec.tag);
       w.f64(rec.first_sent);
       w.i64(rec.attempts);
+      w.u64(rec.corr);
     }
     std::vector<std::uint64_t> seen(s.reliable_seen.begin(),
                                     s.reliable_seen.end());
@@ -925,6 +1003,9 @@ void Emulator::checkpoint(ckpt::Writer& w) const {
     w.u64(slot.recovered);
     w.f64(slot.max_recovery_s);
   }
+  w.u64(latency_slots_.size());
+  for (const LatencyHistogram& h : latency_slots_)
+    for (std::uint64_t c : h.raw()) w.u64(c);
   w.u64(rebalance_stats_.rebalances);
   w.u64(rebalance_stats_.nodes_migrated);
   w.f64(rebalance_stats_.migration_bytes);
@@ -996,6 +1077,7 @@ SimTime Emulator::restore(
       rec.tag = static_cast<int>(r.i64());
       rec.first_sent = r.f64();
       rec.attempts = static_cast<int>(r.i64());
+      rec.corr = r.u64();
       s.pending.emplace(id, rec);
     }
     s.reliable_seen.clear();
@@ -1020,6 +1102,15 @@ SimTime Emulator::restore(
     slot.retransmissions = r.u64();
     slot.recovered = r.u64();
     slot.max_recovery_s = r.f64();
+  }
+  MASSF_REQUIRE(
+      r.u64() == latency_slots_.size(),
+      "snapshot latency-histogram table does not match — register the same "
+      "latency series (and fault timeline) before restoring");
+  for (LatencyHistogram& h : latency_slots_) {
+    std::array<std::uint64_t, LatencyHistogram::kBuckets> counts{};
+    for (std::uint64_t& c : counts) c = r.u64();
+    h.set_raw(counts);
   }
   rebalance_stats_.rebalances = r.u64();
   rebalance_stats_.nodes_migrated = r.u64();

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <unordered_map>
@@ -33,6 +34,7 @@
 #include "fault/fault.hpp"
 #include "routing/routing.hpp"
 #include "topology/network.hpp"
+#include "util/histogram.hpp"
 
 namespace massf::emu {
 
@@ -157,6 +159,17 @@ struct CheckpointConfig {
       on_checkpoint;
 };
 
+/// One latency-histogram series folded after a run (latency_summaries()).
+/// `total` is the merge of every per-epoch histogram; `per_epoch` is empty
+/// when the run had no fault timeline. Folding goes epoch-major then engine
+/// index order, and histogram merge is element-wise uint64 addition, so the
+/// summaries are bit-identical across execution modes and sync protocols.
+struct LatencySummary {
+  std::string name;
+  LatencyHistogram total;
+  std::vector<LatencyHistogram> per_epoch;
+};
+
 /// Fault/recovery counters for one routing epoch (see epoch_stats()).
 struct EpochStats {
   double start = 0;
@@ -203,15 +216,37 @@ class Emulator : private des::EventSink {
 
   /// Inject an application message. Callable at setup time (any host) or
   /// from code executing on `src`'s engine. Returns the message id.
+  /// `corr` rides AppMessage::corr end-to-end (see emu/packet.hpp).
   std::uint64_t send_message(NodeId src, NodeId dst, double bytes, int tag,
-                             SimTime at);
+                             SimTime at, std::uint64_t corr = 0);
 
   /// Reliable variant: the receiver ACKs, the sender retransmits on timeout
   /// with exponential backoff (EmulatorConfig::reliable), and duplicates
   /// are suppressed before the endpoint upcall. Same call-site rules as
-  /// send_message.
+  /// send_message. `corr` rides AppMessage::corr end-to-end.
   std::uint64_t send_reliable(NodeId src, NodeId dst, double bytes, int tag,
-                              SimTime at);
+                              SimTime at, std::uint64_t corr = 0);
+
+  // ---- Per-request latency accounting (src/app) --------------------------
+  //
+  // A series is one named log-scale histogram family — one
+  // LatencyHistogram per (fault epoch × engine) slot. record_latency()
+  // touches only the calling engine's slot (race-free in Threaded mode);
+  // latency_summaries() folds slots in fixed (epoch, engine-index) order
+  // with an element-wise-add merge, so the folded histograms are
+  // bit-identical across Sequential/Threaded × GlobalWindow/
+  // ChannelLookahead whenever the event history is.
+
+  /// Register a histogram series before run(); returns its id. Call after
+  /// set_fault_timeline() or before — slots follow the epoch count.
+  int register_latency_series(const std::string& name);
+
+  /// Record one sample into `series` at the current sim time's fault epoch
+  /// (epoch 0 without a timeline). Callable from endpoint upcalls.
+  void record_latency(int series, double seconds);
+
+  /// Fold the per-engine slots into one summary per series.
+  std::vector<LatencySummary> latency_summaries() const;
 
   // ---- Fault injection ----------------------------------------------------
 
@@ -373,6 +408,7 @@ class Emulator : private des::EventSink {
     int tag = 0;
     SimTime first_sent = 0;
     int attempts = 0;  // transmissions so far (1 = original only)
+    std::uint64_t corr = 0;  // application token; retransmits keep it
   };
 
   struct HostState {
@@ -457,7 +493,7 @@ class Emulator : private des::EventSink {
   /// send_message, send_reliable, and retransmission.
   void inject_trains(NodeId src, NodeId dst, double bytes, int tag,
                      std::uint64_t message_id, SimTime sent_at, bool reliable,
-                     SimTime at);
+                     std::uint64_t corr, SimTime at);
 
   /// Timeout event for a pending reliable message on src's engine.
   void reliable_timeout(NodeId src, std::uint64_t message_id);
@@ -496,6 +532,14 @@ class Emulator : private des::EventSink {
   const fault::FaultTimeline* faults_ = nullptr;
   std::vector<EpochCursor> epoch_cursor_;    // indexed by engine
   std::vector<EpochCounters> epoch_slots_;   // epoch * engines + engine
+  // Latency accounting: slot (series * epochs + epoch) * engines + engine,
+  // written only by its engine's thread (same race-freedom discipline as
+  // epoch_slots_). latency_epochs_ tracks the timeline's epoch count (1
+  // without faults); set_fault_timeline() re-shapes the — still all-zero —
+  // slot array, so registration order vs timeline attachment is free.
+  std::vector<std::string> latency_names_;
+  std::vector<LatencyHistogram> latency_slots_;
+  std::size_t latency_epochs_ = 1;
   RebalanceStats rebalance_stats_;
   SimTime run_until_ = 0;
   bool ran_ = false;

@@ -38,6 +38,11 @@ struct AppMessage {
   SimTime delivered_at = 0;
   /// Sent via the reliable layer: receiver ACKs, sender retries on timeout.
   bool reliable = false;
+  /// Opaque application correlation token, carried end-to-end (and across
+  /// retransmissions) untouched. The RPC layer (src/app) threads request
+  /// ids through it so a response can be matched to its request without any
+  /// per-request allocation or side table in the emulator.
+  std::uint64_t corr = 0;
 };
 
 enum class PacketKind : std::uint8_t {

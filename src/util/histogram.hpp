@@ -1,0 +1,105 @@
+// Fixed-bucket log-scale latency histogram.
+//
+// The app layer (src/app) accounts per-request latency into these: 64
+// geometric buckets doubling from 1 µs, so the whole range from sub-µs to
+// years fits in a fixed 512-byte array and recording is a branch-free
+// exponent extraction — no allocation on the hot path. Because buckets are
+// plain uint64 counters, merging two histograms is an element-wise add:
+// commutative and associative, so any deterministic merge order (the
+// emulator folds per-engine slots in engine index order) yields identical
+// results regardless of execution mode — the property that keeps
+// history_hash-adjacent metrics bit-identical across Sequential/Threaded ×
+// GlobalWindow/ChannelLookahead (DESIGN.md §14).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace massf {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+  /// Lower edge of bucket 1; bucket 0 catches everything below it.
+  static constexpr double kBaseSeconds = 1e-6;
+
+  /// Record one sample. Bucket 0 is [0, 1 µs); bucket i >= 1 is
+  /// [1 µs · 2^(i-1), 1 µs · 2^i); the last bucket absorbs overflow.
+  void record(double seconds) {
+    counts_[static_cast<std::size_t>(bucket_of(seconds))] += 1;
+  }
+
+  /// Element-wise add — commutative, so merge order cannot leak execution
+  /// order into the result.
+  void merge(const LatencyHistogram& other) {
+    for (int i = 0; i < kBuckets; ++i)
+      counts_[static_cast<std::size_t>(i)] +=
+          other.counts_[static_cast<std::size_t>(i)];
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t c : counts_) n += c;
+    return n;
+  }
+
+  bool empty() const { return count() == 0; }
+
+  /// Quantile estimate: the geometric midpoint of the bucket where the
+  /// cumulative count first reaches ceil(p · total). Pure integer scan plus
+  /// a closed-form midpoint, so the estimate is bit-reproducible.
+  double quantile(double p) const {
+    MASSF_REQUIRE(p >= 0.0 && p <= 1.0, "quantile wants p in [0, 1]");
+    const std::uint64_t total = count();
+    if (total == 0) return 0.0;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(total)));
+    if (target == 0) target = 1;
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts_[static_cast<std::size_t>(i)];
+      if (seen >= target) return midpoint(i);
+    }
+    return midpoint(kBuckets - 1);
+  }
+
+  std::uint64_t bucket(int i) const {
+    MASSF_REQUIRE(i >= 0 && i < kBuckets, "bucket index out of range");
+    return counts_[static_cast<std::size_t>(i)];
+  }
+
+  /// Checkpoint support: raw counters in bucket order.
+  const std::array<std::uint64_t, kBuckets>& raw() const { return counts_; }
+  void set_raw(const std::array<std::uint64_t, kBuckets>& counts) {
+    counts_ = counts;
+  }
+
+  bool operator==(const LatencyHistogram& other) const {
+    return counts_ == other.counts_;
+  }
+
+  /// Bucket index for a sample (exposed for tests).
+  static int bucket_of(double seconds) {
+    if (!(seconds > 0.0)) return 0;
+    const double ratio = seconds / kBaseSeconds;
+    if (ratio < 1.0) return 0;
+    int exp = 0;
+    (void)std::frexp(ratio, &exp);  // ratio = m·2^exp, m in [0.5, 1)
+    return exp < kBuckets ? exp : kBuckets - 1;
+  }
+
+ private:
+  /// Representative value for bucket i: geometric mean of its edges.
+  static double midpoint(int i) {
+    if (i == 0) return kBaseSeconds * 0.5;
+    const double lo = kBaseSeconds * std::ldexp(1.0, i - 1);
+    return lo * 1.4142135623730951;  // lo·√2 = √(lo·hi) for hi = 2·lo
+  }
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+};
+
+}  // namespace massf
